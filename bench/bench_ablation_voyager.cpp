@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-choice ablations beyond the paper's figures (DESIGN.md §5):
+ *   - page-aware vs page-agnostic offset embedding: attention scale
+ *     f = 0 collapses the mixture-of-experts to a uniform average, so
+ *     every page sees the same offset embedding — exactly the offset
+ *     aliasing of §4.2.1 that the attention mechanism is built to fix;
+ *   - multi-label loss realization: SoftmaxBest (default) vs the
+ *     paper's literal BCE (with positive weighting);
+ *   - the delta vocabulary on/off (also visible in Figs. 10/11).
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "ablation");
+    ctx.print_banner(std::cout, "Voyager design-choice ablations");
+
+    const auto benchmarks = ctx.benchmarks({"pr"});
+
+    std::vector<bench::VoyagerVariant> variants;
+    variants.push_back({});  // full model (cache-shared with Figs 5-9)
+    bench::VoyagerVariant agnostic;
+    agnostic.name = "voyager_page_agnostic";
+    agnostic.attention_scale = 0.0f;
+    variants.push_back(agnostic);
+    bench::VoyagerVariant bce;
+    bce.name = "voyager_bce";
+    bce.bce_loss = true;
+    variants.push_back(bce);
+    bench::VoyagerVariant no_delta;
+    no_delta.name = "voyager_no_delta";
+    no_delta.use_deltas = false;
+    variants.push_back(no_delta);
+
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &v : variants)
+        header.push_back(v.name == "voyager" ? "full" : v.name);
+    Table t(header);
+    for (const auto &name : benchmarks) {
+        std::vector<double> row;
+        for (const auto &v : variants) {
+            const auto r = ctx.voyager_result(name, v, 1);
+            row.push_back(
+                ctx.unified(name, r.predictions,
+                            r.first_predicted_index)
+                    .value());
+        }
+        t.add_row(name, row, 3);
+    }
+    t.print(std::cout);
+    std::cout << "\nexpected shape: the page-agnostic (f=0) variant "
+                 "suffers from offset aliasing (paper §4.2.1); BCE "
+                 "converges more slowly than SoftmaxBest at this scale "
+                 "(DESIGN.md §5.7).\n";
+    return 0;
+}

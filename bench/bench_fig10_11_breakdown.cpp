@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figs. 10/11 — breakdown of access patterns for ISB (Fig. 10) and
+ * Voyager w/o delta (Fig. 11): covered spatial / covered non-spatial /
+ * uncovered {spatial, co-occurrence, other, compulsory}. Voyager w/o
+ * delta removes deltas from the vocabulary, making it directly
+ * comparable to ISB (§5.3.1); its leftover compulsory slice is what
+ * the delta vocabulary then erases (the mcf example in the text).
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using voyager::core::PatternBreakdown;
+
+void
+add_breakdown_row(voyager::Table &t, const std::string &name,
+                  const PatternBreakdown &b)
+{
+    t.add_row(name,
+              {b.frac(b.covered_spatial), b.frac(b.covered_non_spatial),
+               b.frac(b.uncovered_spatial),
+               b.frac(b.uncovered_cooccurrence),
+               b.frac(b.uncovered_other),
+               b.frac(b.uncovered_compulsory)},
+              3);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "fig10_11");
+    ctx.print_banner(std::cout,
+                     "Access-pattern breakdown (paper Figs. 10 & 11)");
+
+    // Default subset for single-core wall time; --benchmarks=all for
+    // the full suite.
+    const auto benchmarks = ctx.benchmarks({"pr", "mcf"});
+    const std::vector<std::string> header = {
+        "benchmark",     "cov_spatial", "cov_nonspatial",
+        "unc_spatial",   "unc_cooccur", "unc_other",
+        "unc_compulsory"};
+
+    Table isb_table(header);
+    Table voyager_table(header);
+    Table full_table(header);
+    double isb_cov = 0.0;
+    double voy_cov = 0.0;
+    for (const auto &name : benchmarks) {
+        const auto &stream = ctx.get_stream(name);
+        const std::size_t first = ctx.first_epoch_index(name);
+
+        const auto isb_preds = ctx.rule_predictions(name, "isb", 1);
+        const auto isb_flags =
+            core::covered_flags(stream, isb_preds, first);
+        const auto isb_b = core::classify_patterns(stream, isb_flags,
+                                                   first);
+        add_breakdown_row(isb_table, name, isb_b);
+
+        bench::VoyagerVariant no_delta;
+        no_delta.name = "voyager_no_delta";
+        no_delta.use_deltas = false;
+        const auto vr = ctx.voyager_result(name, no_delta, 1);
+        const auto v_flags = core::covered_flags(
+            stream, vr.predictions, vr.first_predicted_index);
+        const auto v_b = core::classify_patterns(
+            stream, v_flags, vr.first_predicted_index);
+        add_breakdown_row(voyager_table, name, v_b);
+
+        const auto fr = ctx.voyager_result(name, {}, 1);
+        const auto f_flags = core::covered_flags(
+            stream, fr.predictions, fr.first_predicted_index);
+        const auto f_b = core::classify_patterns(
+            stream, f_flags, fr.first_predicted_index);
+        add_breakdown_row(full_table, name, f_b);
+
+        isb_cov += isb_b.frac(isb_b.covered_spatial) +
+                   isb_b.frac(isb_b.covered_non_spatial);
+        voy_cov += v_b.frac(v_b.covered_spatial) +
+                   v_b.frac(v_b.covered_non_spatial);
+    }
+
+    std::cout << "--- Fig. 10: ISB ---\n";
+    isb_table.print(std::cout);
+    std::cout << "\n--- Fig. 11: Voyager w/o delta ---\n";
+    voyager_table.print(std::cout);
+    std::cout << "\n--- Full Voyager (delta vocabulary erases the "
+                 "compulsory slice; cf. mcf in §5.3.1) ---\n";
+    full_table.print(std::cout);
+
+    const auto n = static_cast<double>(benchmarks.size());
+    std::cout << "\nmean covered: isb " << pct(isb_cov / n)
+              << " vs voyager w/o delta " << pct(voy_cov / n)
+              << "  (paper: 45.2%+13.1% vs 56.8%+22.2%)\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 12 — feature study. Fixing the labeling scheme isolates the
+ * value of Voyager's features (a 16-deep data-address history):
+ *   STMS          vs Voyager-global (global next-address label)
+ *   ISB           vs Voyager-PC     (PC-localized label)
+ *   Voyager-PC    vs Voyager-PC without the PC-history feature
+ * The paper's findings: the address history helps a lot; the PC as an
+ * input *feature* does not (though it matters as a *label* localizer).
+ *
+ * Default benchmark subset keeps single-core wall time sane; pass
+ * --benchmarks=all for the full set.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "fig12");
+    ctx.print_banner(std::cout, "Feature study (paper Fig. 12)");
+
+    const auto benchmarks = ctx.benchmarks({"pr"});
+
+    bench::VoyagerVariant vglobal;
+    vglobal.name = "voyager_global";
+    vglobal.single_scheme = core::LabelScheme::Global;
+    bench::VoyagerVariant vpc;
+    vpc.name = "voyager_pc";
+    vpc.single_scheme = core::LabelScheme::Pc;
+    bench::VoyagerVariant vpc_nopc;
+    vpc_nopc.name = "voyager_pc_nopcfeat";
+    vpc_nopc.single_scheme = core::LabelScheme::Pc;
+    vpc_nopc.use_pc_feature = false;
+
+    Table t({"benchmark", "stms", "voyager-global", "isb", "voyager-pc",
+             "voyager-pc(-pc-hist)"});
+    std::vector<double> sums(5, 0.0);
+    for (const auto &name : benchmarks) {
+        const std::size_t first = ctx.first_epoch_index(name);
+        std::vector<double> row;
+        row.push_back(
+            ctx.unified(name, ctx.rule_predictions(name, "stms", 1),
+                        first)
+                .value());
+        const auto rg = ctx.voyager_result(name, vglobal, 1);
+        row.push_back(
+            ctx.unified(name, rg.predictions, rg.first_predicted_index)
+                .value());
+        row.push_back(
+            ctx.unified(name, ctx.rule_predictions(name, "isb", 1),
+                        first)
+                .value());
+        const auto rp = ctx.voyager_result(name, vpc, 1);
+        row.push_back(
+            ctx.unified(name, rp.predictions, rp.first_predicted_index)
+                .value());
+        const auto rn = ctx.voyager_result(name, vpc_nopc, 1);
+        row.push_back(
+            ctx.unified(name, rn.predictions, rn.first_predicted_index)
+                .value());
+        for (std::size_t i = 0; i < row.size(); ++i)
+            sums[i] += row[i];
+        t.add_row(name, row, 3);
+    }
+    std::vector<double> mean;
+    for (double s : sums)
+        mean.push_back(s / static_cast<double>(benchmarks.size()));
+    t.add_row("mean", mean, 3);
+    t.print(std::cout);
+    std::cout << "\nexpected shape: voyager-global > stms, voyager-pc > "
+                 "isb, and dropping the PC-history feature changes "
+                 "little (paper Fig. 12).\n";
+    return 0;
+}

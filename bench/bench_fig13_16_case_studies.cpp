@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figs. 13/14/16 — source-level case studies. The paper annotates two
+ * code snippets with per-load prefetch accuracy before/after Voyager:
+ *   - PageRank (Fig. 13/14): line 44's streaming load is easy; line
+ *     48's data-dependent gather (`outgoing_contrib[v]`) confuses
+ *     pairwise temporal prefetchers but not Voyager.
+ *   - soplex (Fig. 16): `vec[leave]` is loaded by one of two PCs
+ *     depending on a branch, so PC-localized prediction splits the
+ *     pattern while co-occurrence labeling captures it.
+ * We reproduce the tables as per-PC coverage of ISB vs Voyager on the
+ * corresponding generated load streams.
+ */
+#include <iostream>
+#include <unordered_map>
+
+#include "common.hpp"
+#include "trace/gen/recorder.hpp"
+
+namespace {
+
+using namespace voyager;
+
+/** Per-PC coverage: covered loads / loads, for each tracked PC. */
+std::unordered_map<Addr, std::pair<std::uint64_t, std::uint64_t>>
+per_pc_coverage(const std::vector<core::LlcAccess> &stream,
+                const std::vector<std::uint8_t> &covered,
+                std::size_t first)
+{
+    std::unordered_map<Addr, std::pair<std::uint64_t, std::uint64_t>> m;
+    for (std::size_t i = first; i < stream.size(); ++i) {
+        if (!stream[i].is_load)
+            continue;
+        auto &slot = m[stream[i].pc];
+        slot.second += 1;
+        slot.first += covered[i] ? 1 : 0;
+    }
+    return m;
+}
+
+void
+run_case(bench::BenchContext &ctx, const std::string &benchmark,
+         const std::vector<std::pair<std::string, Addr>> &tracked)
+{
+    const auto &stream = ctx.get_stream(benchmark);
+    const std::size_t first = ctx.first_epoch_index(benchmark);
+
+    const auto isb_preds = ctx.rule_predictions(benchmark, "isb", 1);
+    const auto isb_cov = core::covered_flags(stream, isb_preds, first);
+    const auto isb_by_pc = per_pc_coverage(stream, isb_cov, first);
+
+    const auto vr = ctx.voyager_result(benchmark, {}, 1);
+    const auto v_cov = core::covered_flags(stream, vr.predictions,
+                                           vr.first_predicted_index);
+    const auto v_by_pc =
+        per_pc_coverage(stream, v_cov, vr.first_predicted_index);
+
+    Table t({"load", "llc loads", "isb", "voyager"});
+    for (const auto &[label, pc] : tracked) {
+        const auto i = isb_by_pc.find(pc);
+        const auto v = v_by_pc.find(pc);
+        const auto loads =
+            i != isb_by_pc.end() ? i->second.second : 0;
+        const double isb_frac =
+            i != isb_by_pc.end() && i->second.second
+                ? static_cast<double>(i->second.first) /
+                      static_cast<double>(i->second.second)
+                : 0.0;
+        const double v_frac =
+            v != v_by_pc.end() && v->second.second
+                ? static_cast<double>(v->second.first) /
+                      static_cast<double>(v->second.second)
+                : 0.0;
+        t.add_row({label, strfmt("%llu", (unsigned long long)loads),
+                   pct(isb_frac), pct(v_frac)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    using trace::layout::pc_of;
+    bench::BenchContext ctx(argc, argv, "fig13_16");
+    ctx.print_banner(std::cout,
+                     "Code-example case studies (paper Figs. 13/14/16)");
+
+    std::cout << "--- Fig. 13: PageRank (GAP pr) ---\n";
+    run_case(ctx, "pr",
+             {{"line 44 scores[n] (stream)", pc_of(0, 1)},
+              {"line 47 in_neigh[e] (stream)", pc_of(1, 2)},
+              {"line 48 contrib[v] (gather)", pc_of(1, 3)}});
+
+    std::cout << "--- Fig. 16: soplex ratio test ---\n";
+    run_case(ctx, "soplex",
+             {{"line 123 upd[leave]", pc_of(15, 3)},
+              {"line 125 ub[leave]", pc_of(15, 5)},
+              {"line 125 vec[leave] (then)", pc_of(15, 6)},
+              {"line 127 lb[leave]", pc_of(15, 7)},
+              {"line 127 vec[leave] (else)", pc_of(15, 8)}});
+
+    std::cout << "expected shape: streaming loads high for both; the "
+                 "gather and the branch-split vec[leave] improve "
+                 "sharply under Voyager (paper: 23.5%->95.1% and "
+                 "~44%->~88%).\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 15 — labeling-scheme study: unified accuracy/coverage of
+ * Voyager trained with each single labeling scheme (global, PC,
+ * basic-block, spatial, co-occurrence) versus the multi-label scheme
+ * that picks the most predictable label (§4.4).
+ *
+ * Default benchmark subset keeps single-core wall time sane; pass
+ * --benchmarks=all for the full set.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "fig15");
+    ctx.print_banner(std::cout, "Labeling-scheme study (paper Fig. 15)");
+
+    const auto benchmarks = ctx.benchmarks({"soplex"});
+
+    struct Scheme
+    {
+        std::string column;
+        bench::VoyagerVariant variant;
+    };
+    std::vector<Scheme> schemes;
+    for (const auto s :
+         {core::LabelScheme::Global, core::LabelScheme::Pc,
+          core::LabelScheme::BasicBlock, core::LabelScheme::Spatial,
+          core::LabelScheme::CoOccurrence}) {
+        Scheme sc;
+        sc.column = core::label_scheme_name(s);
+        sc.variant.name = "voyager_" + sc.column;
+        sc.variant.single_scheme = s;
+        schemes.push_back(sc);
+    }
+    Scheme multi;
+    multi.column = "multi";
+    multi.variant.name = "voyager";  // the full model
+    schemes.push_back(multi);
+
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &s : schemes)
+        header.push_back(s.column);
+    Table t(header);
+    std::vector<double> sums(schemes.size(), 0.0);
+    for (const auto &name : benchmarks) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const auto r =
+                ctx.voyager_result(name, schemes[i].variant, 1);
+            const double v =
+                ctx.unified(name, r.predictions,
+                            r.first_predicted_index)
+                    .value();
+            row.push_back(v);
+            sums[i] += v;
+        }
+        t.add_row(name, row, 3);
+    }
+    std::vector<double> mean;
+    for (double s : sums)
+        mean.push_back(s / static_cast<double>(benchmarks.size()));
+    t.add_row("mean", mean, 3);
+    t.print(std::cout);
+    std::cout << "\nexpected shape (paper Fig. 15): multi-label >= best "
+                 "single scheme on average; different benchmarks prefer "
+                 "different single schemes.\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig. 17 and §5.4 — model compression and overhead. Reports, per
+ * benchmark and on average:
+ *   - unified accuracy/coverage (the "accuracy" axis),
+ *   - IPC speedup over no prefetching (the "speedup" axis; SPEC/GAP),
+ *   - storage: Voyager dense fp32, pruned (80%) fp32, pruned+int8,
+ *     Delta-LSTM dense, and conventional temporal-prefetcher metadata,
+ *   - the paper's storage-efficiency score 1/(1+log10(storage)),
+ *   - measured training/inference time per sample (the 15-20x
+ *     training-cost argument reduces to parameter ratio here).
+ */
+#include <cmath>
+#include <iostream>
+#include <unordered_set>
+
+#include "common.hpp"
+#include "core/compress.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "fig17");
+    ctx.print_banner(std::cout,
+                     "Overhead & compression (paper Fig. 17, §5.4)");
+
+    const auto benchmarks = ctx.benchmarks({"pr", "mcf"});
+
+    Table t({"benchmark", "voyager acc/cov", "voyager speedup",
+             "voyager fp32", "pruned fp32", "pruned int8",
+             "delta_lstm fp32", "temporal tables"});
+    double sum_eff_voyager = 0.0;
+    double sum_eff_isb = 0.0;
+    double sum_eff_dl = 0.0;
+    for (const auto &name : benchmarks) {
+        const auto &stream = ctx.get_stream(name);
+        // Train a fresh model (not cached) so we can compress it.
+        core::VoyagerAdapter adapter(ctx.voyager_config({}), stream);
+        auto res = core::train_online(adapter, stream.size(),
+                                      ctx.train_config(1));
+        const double acc =
+            ctx.unified(name, res.predictions,
+                        res.first_predicted_index)
+                .value();
+        const auto base = ctx.run_baseline(name);
+        const double speedup =
+            ctx.run_replay(name, "voyager", res.predictions)
+                .speedup_over(base);
+
+        const auto rep = core::compress_model(adapter.model(), {});
+
+        std::unordered_set<Addr> lines;
+        for (const auto &a : stream)
+            lines.insert(a.line);
+        const auto temporal = core::temporal_prefetcher_bytes(
+            lines.size());
+        const auto dl_bytes = ctx.delta_lstm_bytes(name);
+
+        t.add_row({name, pct(acc), pct(speedup),
+                   human_bytes(rep.dense_fp32_bytes),
+                   human_bytes(rep.pruned_fp32_bytes),
+                   human_bytes(rep.pruned_int8_bytes),
+                   human_bytes(dl_bytes), human_bytes(temporal)});
+
+        // Paper Fig. 17 footnote: efficiency = 1/(1+log10(storage)).
+        // Storage counted in KiB and clamped to >= 1 so the score
+        // stays in (0, 1] for the sub-MiB models of the small scale.
+        auto eff = [](double bytes) {
+            const double kib = std::max(1.0, bytes / 1024.0);
+            return 1.0 / (1.0 + std::log10(kib));
+        };
+        sum_eff_voyager +=
+            eff(static_cast<double>(rep.pruned_int8_bytes));
+        sum_eff_isb += eff(static_cast<double>(temporal));
+        sum_eff_dl += eff(static_cast<double>(dl_bytes));
+
+        std::cout << name << ": sparsity=" << pct(rep.sparsity)
+                  << " quant_err=" << rep.max_quant_error
+                  << " compression="
+                  << strfmt("%.1fx",
+                            static_cast<double>(rep.dense_fp32_bytes) /
+                                static_cast<double>(
+                                    rep.pruned_int8_bytes))
+                  << " train="
+                  << strfmt("%.1f us/sample",
+                            1e6 * res.train_seconds /
+                                std::max<std::uint64_t>(
+                                    1, res.trained_samples))
+                  << " infer="
+                  << strfmt("%.1f us/sample",
+                            1e6 * res.inference_seconds /
+                                std::max<std::uint64_t>(
+                                    1, res.predicted_samples))
+                  << "\n";
+    }
+    std::cout << "\n";
+    t.print(std::cout);
+
+    const auto n = static_cast<double>(benchmarks.size());
+    std::cout << "\nstorage efficiency 1/(1+log10(KiB)): voyager "
+              << strfmt("%.2f", sum_eff_voyager / n) << ", delta_lstm "
+              << strfmt("%.2f", sum_eff_dl / n) << ", temporal tables "
+              << strfmt("%.2f", sum_eff_isb / n)
+              << "\npaper shape: pruned+int8 voyager beats delta_lstm "
+                 "by 110-200x and undercuts temporal-prefetcher "
+                 "metadata.\n";
+    return 0;
+}

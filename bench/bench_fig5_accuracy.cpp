@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 5 — prefetch accuracy of STMS, Domino, ISB, BO, Delta-LSTM and
+ * Voyager on the SPEC/GAP benchmarks, measured in the simulator
+ * (useful prefetches / issued prefetches) at degree 1.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "fig5");
+    ctx.print_banner(std::cout, "Prefetch accuracy (paper Fig. 5)");
+
+    const auto benchmarks =
+        ctx.benchmarks(trace::gen::spec_gap_benchmarks());
+    const std::vector<std::string> rules = {"stms", "domino", "isb",
+                                            "bo"};
+
+    Table t({"benchmark", "stms", "domino", "isb", "bo", "delta_lstm",
+             "voyager"});
+    std::vector<double> sums(6, 0.0);
+    for (const auto &name : benchmarks) {
+        std::vector<double> row;
+        for (const auto &rule : rules)
+            row.push_back(ctx.run_rule(name, rule, 1).accuracy);
+        const auto dl = ctx.delta_lstm_result(name, 1);
+        row.push_back(
+            ctx.run_replay(name, "delta_lstm", dl.predictions).accuracy);
+        const auto vr = ctx.voyager_result(name, {}, 1);
+        row.push_back(
+            ctx.run_replay(name, "voyager", vr.predictions).accuracy);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            sums[i] += row[i];
+        t.add_row(name, row, 3);
+    }
+    std::vector<double> mean;
+    for (double s : sums)
+        mean.push_back(s / static_cast<double>(benchmarks.size()));
+    t.add_row("mean", mean, 3);
+    t.print(std::cout);
+    std::cout << "\npaper means: stms/domino/isb/bo ~0.82 band, voyager "
+                 "0.902; expected shape: voyager highest.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 8 — IPC improvement over a no-prefetcher baseline for STMS,
+ * Domino, ISB, BO, Delta-LSTM and Voyager at degree 1.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "fig8");
+    ctx.print_banner(std::cout,
+                     "IPC improvement over no prefetching (paper Fig. 8)");
+
+    const auto benchmarks =
+        ctx.benchmarks(trace::gen::spec_gap_benchmarks());
+    const std::vector<std::string> rules = {"stms", "domino", "isb",
+                                            "bo"};
+
+    Table t({"benchmark", "base IPC", "stms", "domino", "isb", "bo",
+             "delta_lstm", "voyager"});
+    std::vector<double> sums(6, 0.0);
+    for (const auto &name : benchmarks) {
+        const auto base = ctx.run_baseline(name);
+        std::vector<double> row = {base.ipc};
+        std::vector<double> speedups;
+        for (const auto &rule : rules)
+            speedups.push_back(
+                ctx.run_rule(name, rule, 1).speedup_over(base));
+        const auto dl = ctx.delta_lstm_result(name, 1);
+        speedups.push_back(
+            ctx.run_replay(name, "delta_lstm", dl.predictions)
+                .speedup_over(base));
+        const auto vr = ctx.voyager_result(name, {}, 1);
+        speedups.push_back(ctx.run_replay(name, "voyager", vr.predictions)
+                               .speedup_over(base));
+        for (std::size_t i = 0; i < speedups.size(); ++i) {
+            sums[i] += speedups[i];
+            row.push_back(speedups[i]);
+        }
+        t.add_row(name, row, 3);
+    }
+    std::vector<double> mean = {0.0};
+    for (double s : sums)
+        mean.push_back(s / static_cast<double>(benchmarks.size()));
+    t.add_row("mean(speedup)", mean, 3);
+    t.print(std::cout);
+    std::cout << "\npaper means: stms +14.9%, domino +21.7%, isb +28.2%, "
+                 "bo +13.3%, delta_lstm +24.6%, voyager +41.6%.\n";
+    return 0;
+}

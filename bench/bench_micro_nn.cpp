@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Micro-benchmarks of the NN substrate (google-benchmark): GEMM,
+ * LSTM step, MoE attention, embedding gather, BCE loss — the kernels
+ * whose costs drive §5.4's training/inference overhead numbers.
+ */
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.hpp"
+#include "nn/hierarchical_softmax.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/ops.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace voyager;
+using nn::Matrix;
+
+void
+BM_GemmNn(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    Matrix a(n, n);
+    Matrix b(n, n);
+    Matrix c(n, n);
+    nn::uniform_init(a, 1.0f, rng);
+    nn::uniform_init(b, 1.0f, rng);
+    for (auto _ : state) {
+        c.zero();
+        nn::gemm_nn(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNn)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_LstmForward(benchmark::State &state)
+{
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch = 64;
+    const std::size_t T = 16;
+    Rng rng(2);
+    nn::Lstm lstm(hidden, hidden, rng);
+    std::vector<Matrix> xs(T, Matrix(batch, hidden));
+    for (auto &x : xs)
+        nn::uniform_init(x, 1.0f, rng);
+    Matrix h;
+    for (auto _ : state) {
+        lstm.forward(xs, h);
+        benchmark::DoNotOptimize(h.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch * T);
+}
+BENCHMARK(BM_LstmForward)->Arg(32)->Arg(64)->Arg(256);
+
+void
+BM_LstmBackward(benchmark::State &state)
+{
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch = 64;
+    const std::size_t T = 16;
+    Rng rng(3);
+    nn::Lstm lstm(hidden, hidden, rng);
+    std::vector<Matrix> xs(T, Matrix(batch, hidden));
+    for (auto &x : xs)
+        nn::uniform_init(x, 1.0f, rng);
+    Matrix h;
+    lstm.forward(xs, h);
+    Matrix dh(batch, hidden, 0.01f);
+    std::vector<Matrix> dxs;
+    for (auto _ : state) {
+        lstm.backward(dh, dxs);
+        benchmark::DoNotOptimize(dxs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch * T);
+}
+BENCHMARK(BM_LstmBackward)->Arg(32)->Arg(64);
+
+void
+BM_MoeAttention(benchmark::State &state)
+{
+    const auto experts = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch = 64;
+    const std::size_t d = 32;
+    Rng rng(4);
+    nn::MoeAttention attn(experts);
+    Matrix page(batch, d);
+    Matrix offset(batch, experts * d);
+    nn::uniform_init(page, 1.0f, rng);
+    nn::uniform_init(offset, 1.0f, rng);
+    Matrix out;
+    for (auto _ : state) {
+        attn.forward(page, offset, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MoeAttention)->Arg(4)->Arg(10)->Arg(100);
+
+void
+BM_EmbeddingGather(benchmark::State &state)
+{
+    const auto vocab = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    nn::Embedding emb(vocab, 64, rng);
+    std::vector<std::int32_t> ids(256);
+    for (auto &id : ids)
+        id = static_cast<std::int32_t>(rng.next_below(vocab));
+    Matrix out;
+    for (auto _ : state) {
+        emb.forward(ids, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_EmbeddingGather)->Arg(1024)->Arg(65536);
+
+void
+BM_BceLoss(benchmark::State &state)
+{
+    const auto classes = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    Matrix logits(64, classes);
+    nn::uniform_init(logits, 1.0f, rng);
+    std::vector<std::vector<std::int32_t>> labels(64);
+    for (auto &l : labels)
+        l = {static_cast<std::int32_t>(rng.next_below(classes))};
+    Matrix dl;
+    for (auto _ : state) {
+        const double loss = nn::bce_multilabel_loss(logits, labels, dl);
+        benchmark::DoNotOptimize(loss);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * classes);
+}
+BENCHMARK(BM_BceLoss)->Arg(191)->Arg(4096);
+
+void
+BM_FlatSoftmaxHead(benchmark::State &state)
+{
+    const auto classes = static_cast<std::size_t>(state.range(0));
+    const std::size_t in = 64;
+    Rng rng(7);
+    nn::Linear head(in, classes, rng);
+    Matrix x(64, in);
+    nn::uniform_init(x, 1.0f, rng);
+    std::vector<std::int32_t> targets(64);
+    for (auto &t : targets)
+        t = static_cast<std::int32_t>(rng.next_below(classes));
+    Matrix y;
+    Matrix dl;
+    Matrix dx;
+    for (auto _ : state) {
+        head.forward(x, y);
+        nn::softmax_ce_loss(y, targets, dl);
+        head.backward(dl, dx);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FlatSoftmaxHead)->Arg(1024)->Arg(16384);
+
+void
+BM_HierarchicalSoftmaxHead(benchmark::State &state)
+{
+    // The paper's §5.5 estimate: hierarchical softmax cuts the output
+    // head's train cost 3-4x. Compare against BM_FlatSoftmaxHead.
+    const auto classes = static_cast<std::size_t>(state.range(0));
+    const std::size_t in = 64;
+    Rng rng(8);
+    nn::HierarchicalSoftmax head(in, classes, rng);
+    Matrix x(64, in);
+    nn::uniform_init(x, 1.0f, rng);
+    std::vector<std::int32_t> targets(64);
+    for (auto &t : targets)
+        t = static_cast<std::int32_t>(rng.next_below(classes));
+    Matrix dx;
+    for (auto _ : state) {
+        const double loss = head.loss_and_grad(x, targets, dx);
+        benchmark::DoNotOptimize(loss);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HierarchicalSoftmaxHead)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

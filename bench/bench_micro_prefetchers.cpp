@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Micro-benchmarks of the rule-based prefetchers and the simulator
+ * datapath (google-benchmark): per-access training+prediction cost of
+ * STMS/ISB/Domino/BO and raw cache/DRAM access throughput.
+ */
+#include <benchmark/benchmark.h>
+
+#include "prefetch/registry.hpp"
+#include "sim/cache.hpp"
+#include "sim/dram.hpp"
+#include "sim/hierarchy.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace voyager;
+
+std::vector<sim::LlcAccess>
+synthetic_stream(std::size_t n)
+{
+    Rng rng(1);
+    // A 512-line repeating tour with 4 PCs: exercises the hit paths of
+    // every prefetcher's tables.
+    std::vector<Addr> tour(512);
+    for (auto &line : tour)
+        line = 0x40000 + rng.next_below(65536);
+    std::vector<sim::LlcAccess> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i].index = i;
+        out[i].pc = 0x400000 + (i % 4) * 4;
+        out[i].line = tour[i % tour.size()];
+        out[i].is_load = true;
+    }
+    return out;
+}
+
+void
+BM_PrefetcherOnAccess(benchmark::State &state, const char *name)
+{
+    const auto stream = synthetic_stream(4096);
+    auto pf = prefetch::make_prefetcher(name, 4);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto v = pf->on_access(stream[i]);
+        benchmark::DoNotOptimize(v.data());
+        i = (i + 1) % stream.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_PrefetcherOnAccess, stms, "stms");
+BENCHMARK_CAPTURE(BM_PrefetcherOnAccess, isb, "isb");
+BENCHMARK_CAPTURE(BM_PrefetcherOnAccess, domino, "domino");
+BENCHMARK_CAPTURE(BM_PrefetcherOnAccess, bo, "bo");
+BENCHMARK_CAPTURE(BM_PrefetcherOnAccess, ip_stride, "ip_stride");
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache({"LLC", 2 * 1024 * 1024, 16, 20});
+    Rng rng(2);
+    std::vector<Addr> lines(4096);
+    for (auto &l : lines)
+        l = rng.next_below(100000);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        if (!cache.access(lines[i]))
+            cache.fill(lines[i], false);
+        i = (i + 1) % lines.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    sim::Dram dram(sim::DramConfig{});
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dram.access(rng.next_below(1 << 24),
+                                             now));
+        now += 10;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    sim::HierarchyConfig cfg;
+    sim::MemoryHierarchy mem(cfg, nullptr);
+    Rng rng(4);
+    std::vector<trace::MemoryAccess> accs(8192);
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+        accs[i] = {i, 0x400000,
+                   (0x100000 + rng.next_below(1 << 22)) << kLineBits,
+                   true};
+    }
+    Cycle now = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(accs[i], now));
+        now += 4;
+        i = (i + 1) % accs.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

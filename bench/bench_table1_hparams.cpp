@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 1 — Voyager hyperparameters. Prints the paper values alongside
+ * the scaled defaults this host uses (DESIGN.md §6).
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "table1");
+    ctx.print_banner(std::cout, "Voyager hyperparameters (paper Table 1)");
+
+    const auto paper = core::VoyagerConfig::paper();
+    const auto used = ctx.voyager_config(bench::VoyagerVariant{});
+
+    Table t({"hyperparameter", "paper", "this run"});
+    auto row = [&t](const std::string &name, double a, double b) {
+        t.add_row({name, strfmt("%g", a), strfmt("%g", b)});
+    };
+    row("sequence length", paper.seq_len, used.seq_len);
+    row("learning rate", paper.learning_rate, used.learning_rate);
+    row("learning rate decay ratio", paper.lr_decay_ratio,
+        used.lr_decay_ratio);
+    row("embedding size for PC", paper.pc_embed_dim, used.pc_embed_dim);
+    row("embedding size of page", paper.page_embed_dim,
+        used.page_embed_dim);
+    row("embedding size of offset", paper.offset_embed_dim(),
+        used.offset_embed_dim());
+    row("# experts", paper.num_experts, used.num_experts);
+    row("page and offset LSTM # layers", 1, 1);
+    row("page and offset LSTM # units", paper.lstm_units,
+        used.lstm_units);
+    row("dropout keep ratio", paper.dropout_keep, used.dropout_keep);
+    row("batch size", paper.batch_size, used.batch_size);
+    t.add_row({"optimizer", "Adam", "Adam"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 3 — simulation configuration. Prints the paper hierarchy and
+ * the scaled hierarchy this run uses.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    bench::BenchContext ctx(argc, argv, "table3");
+    ctx.print_banner(std::cout,
+                     "Simulation configuration (paper Table 3)");
+
+    const auto paper = sim::default_sim_config();
+    const auto &used = ctx.sim_config();
+
+    Table t({"component", "paper", "this run"});
+    auto cache_row = [&t](const std::string &name,
+                          const sim::CacheConfig &a,
+                          const sim::CacheConfig &b) {
+        t.add_row({name,
+                   strfmt("%s, %u-way, %u-cycle",
+                          human_bytes(a.size_bytes).c_str(), a.assoc,
+                          a.latency),
+                   strfmt("%s, %u-way, %u-cycle",
+                          human_bytes(b.size_bytes).c_str(), b.assoc,
+                          b.latency)});
+    };
+    cache_row("L1 D-Cache", paper.hierarchy.l1, used.hierarchy.l1);
+    cache_row("L2 Cache", paper.hierarchy.l2, used.hierarchy.l2);
+    cache_row("LLC", paper.hierarchy.llc, used.hierarchy.llc);
+    const auto &pd = paper.hierarchy.dram;
+    const auto &ud = used.hierarchy.dram;
+    t.add_row({"DRAM",
+               strfmt("%uch/%urk/%ubk, %u rows, tRP=tRCD=tCAS=%u",
+                      pd.channels, pd.ranks, pd.banks, pd.rows, pd.t_rp),
+               strfmt("%uch/%urk/%ubk, %u rows, tRP=tRCD=tCAS=%u",
+                      ud.channels, ud.ranks, ud.banks, ud.rows,
+                      ud.t_rp)});
+    t.add_row({"core",
+               strfmt("%u-wide OoO, %u-entry ROB, %u-stage",
+                      paper.core.width, paper.core.rob_size,
+                      paper.core.pipeline_depth),
+               strfmt("%u-wide OoO, %u-entry ROB, %u-stage",
+                      used.core.width, used.core.rob_size,
+                      used.core.pipeline_depth)});
+    t.print(std::cout);
+    return 0;
+}

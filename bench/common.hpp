@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared bench harness: every per-figure binary resolves workloads,
+ * runs prefetchers and trains the neural models through this layer.
+ * Expensive neural results are cached on disk keyed by their full
+ * configuration, so the figure binaries that share runs (Figs. 5-8)
+ * pay for training only once.
+ *
+ * Common flags (all binaries):
+ *   --scale=tiny|small|paper   workload + hierarchy scale (default small)
+ *   --benchmarks=a,b,c         subset filter (default: per-figure set)
+ *   --seed=N                   trace/model seed (default 1)
+ *   --epochs=N                 online-training epochs (default 5)
+ *   --passes=N                 training passes per epoch
+ *   --llc_cap=N                cap on evaluated LLC accesses (0 = off)
+ *   --cache_dir=PATH           neural-result cache (default bench_cache)
+ *   --no_cache                 recompute everything
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "sim/simulator.hpp"
+#include "trace/gen/workloads.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace voyager::bench {
+
+using core::LlcAccess;
+using trace::gen::Scale;
+
+/** A named Voyager variant (ablation) for the figure studies. */
+struct VoyagerVariant
+{
+    /** Cache key; also the display name. */
+    std::string name = "voyager";
+    /** Disable the delta vocabulary (Voyager w/o delta, §5.3.1). */
+    bool use_deltas = true;
+    /** Single labeling scheme; nullopt = full multi-label. */
+    std::optional<core::LabelScheme> single_scheme;
+    /** Use the PC history as an input feature (Fig. 12). */
+    bool use_pc_feature = true;
+    /** Train with the paper's literal BCE instead of SoftmaxBest. */
+    bool bce_loss = false;
+    /** Attention scale f; 0 makes the offset embedding page-agnostic
+     *  (uniform expert mixture) — the §4.2.1 offset-aliasing ablation. */
+    float attention_scale = 1.0f;
+};
+
+/** Everything a bench binary needs, parsed once from argv. */
+class BenchContext
+{
+  public:
+    BenchContext(int argc, const char *const *argv,
+                 const std::string &bench_name);
+
+    Scale scale() const { return scale_; }
+    const sim::SimConfig &sim_config() const { return sim_; }
+    std::uint64_t seed() const { return seed_; }
+    const Config &raw() const { return cfg_; }
+
+    /** Benchmarks to run: --benchmarks filter applied to `defaults`. */
+    std::vector<std::string>
+    benchmarks(const std::vector<std::string> &defaults) const;
+
+    /** Generate (and memoize) a workload trace. */
+    const trace::Trace &get_trace(const std::string &benchmark);
+
+    /** Extract (and memoize) the LLC access stream of a benchmark. */
+    const std::vector<LlcAccess> &get_stream(const std::string &benchmark);
+
+    /** The scaled Voyager configuration for this context. */
+    core::VoyagerConfig voyager_config(const VoyagerVariant &v) const;
+
+    /** The scaled Delta-LSTM configuration. */
+    core::DeltaLstmConfig delta_lstm_config() const;
+
+    /** Online-training schedule for this context. */
+    core::OnlineTrainConfig train_config(std::uint32_t degree) const;
+
+    /**
+     * Train (or load from cache) a Voyager variant on a benchmark and
+     * return the per-index predictions (degree slots filled up to
+     * `degree`; ask for the largest degree you need — slices of the
+     * cached result serve smaller degrees).
+     */
+    core::OnlineResult voyager_result(const std::string &benchmark,
+                                      const VoyagerVariant &variant,
+                                      std::uint32_t degree);
+
+    /** Train (or load) the Delta-LSTM baseline. */
+    core::OnlineResult delta_lstm_result(const std::string &benchmark,
+                                         std::uint32_t degree);
+
+    /** Model size of a Voyager variant on this benchmark's vocab. */
+    std::uint64_t voyager_bytes(const std::string &benchmark,
+                                const VoyagerVariant &variant);
+    std::uint64_t delta_lstm_bytes(const std::string &benchmark);
+
+    /** Run a rule-based prefetcher in the simulator. */
+    sim::SimResult run_rule(const std::string &benchmark,
+                            const std::string &prefetcher,
+                            std::uint32_t degree);
+
+    /** Run replayed predictions in the simulator. */
+    sim::SimResult run_replay(const std::string &benchmark,
+                              const std::string &display_name,
+                              const std::vector<std::vector<Addr>> &preds,
+                              std::uint64_t storage_bytes = 0);
+
+    /** No-prefetcher baseline. */
+    sim::SimResult run_baseline(const std::string &benchmark);
+
+    /** Unified accuracy/coverage of per-index predictions. */
+    core::UnifiedMetric unified(const std::string &benchmark,
+                                const std::vector<std::vector<Addr>> &preds,
+                                std::size_t first_index);
+
+    /** Rule-based prefetcher predictions over the LLC stream. */
+    std::vector<std::vector<Addr>>
+    rule_predictions(const std::string &benchmark,
+                     const std::string &prefetcher, std::uint32_t degree);
+
+    /** First index of epoch 1 (unified metrics skip epoch 0). */
+    std::size_t first_epoch_index(const std::string &benchmark);
+
+    /** Print the standard banner (scale, config, Table 3 parameters). */
+    void print_banner(std::ostream &os, const std::string &what) const;
+
+    /** Truncate per-index predictions to a smaller degree. */
+    static std::vector<std::vector<Addr>>
+    slice_degree(const std::vector<std::vector<Addr>> &preds,
+                 std::uint32_t degree);
+
+  private:
+    std::string cache_path(const std::string &key) const;
+    std::optional<core::OnlineResult>
+    load_cached(const std::string &key) const;
+    void store_cached(const std::string &key,
+                      const core::OnlineResult &res) const;
+    std::string result_key(const std::string &benchmark,
+                           const std::string &model,
+                           std::uint32_t degree) const;
+
+    std::string bench_name_;
+    Config cfg_;
+    Scale scale_ = Scale::Small;
+    sim::SimConfig sim_;
+    std::uint64_t seed_ = 1;
+    std::size_t epochs_ = 5;
+    std::size_t passes_ = 4;
+    std::size_t max_samples_ = 8000;
+    std::size_t llc_cap_ = 30000;
+    std::string cache_dir_;
+    bool use_cache_ = true;
+
+    std::map<std::string, trace::Trace> traces_;
+    std::map<std::string, std::vector<LlcAccess>> streams_;
+};
+
+/** Neural models always predict at this degree; lower degrees replay
+ *  a truncated candidate list, so one training serves all of Fig. 9. */
+inline constexpr std::uint32_t kNeuralDegree = 8;
+
+/** Horizon used by the unified accuracy/coverage metric: a prediction
+ *  counts iff the line is loaded within this many accesses — wide
+ *  enough to credit every labeling scheme's lookahead (see
+ *  EXPERIMENTS.md for the discussion). */
+inline constexpr std::size_t kUnifiedHorizon = 32;
+
+}  // namespace voyager::bench

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * OLTP/server prefetching — the paper's search/ads story. Production
+ * server traces have thousands of PCs and many interleaved request
+ * contexts, which starves PC-localized temporal prefetchers. This
+ * example builds search- and ads-like traces, evaluates the rule-based
+ * prefetchers and Voyager with the unified accuracy/coverage metric
+ * (these traces contain memory instructions only, as in the paper), and
+ * prints the per-prefetcher breakdown.
+ *
+ * Usage: oltp_server [--scale=tiny|small] [--workload=search|ads]
+ */
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "prefetch/registry.hpp"
+#include "trace/gen/workloads.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    const auto cfg = Config::from_args(argc, argv);
+    const auto scale =
+        trace::gen::parse_scale(cfg.get_string("scale", "tiny"));
+    const auto filter = cfg.get_string("workload", "");
+
+    std::vector<std::string> workloads = {"search", "ads"};
+    if (!filter.empty())
+        workloads = {filter};
+
+    constexpr std::size_t kHorizon = 32;
+    Table t({"workload", "#PCs", "stms", "isb", "domino", "voyager"});
+    for (const auto &name : workloads) {
+        const auto trace = trace::gen::make_workload(name, scale, 1);
+        const auto stats = trace.stats();
+
+        // OLTP traces are evaluated on the raw access stream (memory
+        // instructions only — no IPC simulation), as in the paper.
+        std::vector<core::LlcAccess> stream;
+        stream.reserve(trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            core::LlcAccess a;
+            a.index = i;
+            a.pc = trace[i].pc;
+            a.line = trace[i].line();
+            a.is_load = trace[i].is_load;
+            stream.push_back(a);
+        }
+        const std::size_t first = stream.size() / 5;
+
+        auto rule_metric = [&](const char *rule) {
+            auto pf = prefetch::make_prefetcher(rule, 1);
+            const auto preds =
+                core::run_prefetcher_on_stream(*pf, stream);
+            return core::unified_accuracy_coverage(stream, preds, first,
+                                                   kHorizon)
+                .value();
+        };
+        const double m_stms = rule_metric("stms");
+        const double m_isb = rule_metric("isb");
+        const double m_domino = rule_metric("domino");
+
+        core::VoyagerConfig vcfg;
+        vcfg.learning_rate = 2e-2;
+        core::VoyagerAdapter voyager(vcfg, stream);
+        core::OnlineTrainConfig train;
+        train.train_passes = 6;
+    train.cumulative = true;
+        train.max_train_samples_per_epoch = 6000;
+        const auto res =
+            core::train_online(voyager, stream.size(), train);
+        const double m_voy =
+            core::unified_accuracy_coverage(stream, res.predictions,
+                                            res.first_predicted_index,
+                                            kHorizon)
+                .value();
+
+        t.add_row({name,
+                   strfmt("%llu", (unsigned long long)stats.unique_pcs),
+                   pct(m_stms), pct(m_isb), pct(m_domino), pct(m_voy)});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper result: on search/ads, idealized ISB reaches "
+                 "only 13.8%/26.2% while Voyager reaches 37.8%/57.5% — "
+                 "request interleaving breaks pairwise correlation but "
+                 "not sequence models.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: the whole Voyager pipeline in ~60 lines.
+ *
+ *   1. Generate an irregular workload trace (GAP PageRank).
+ *   2. Run it through the ChampSim-style simulator to get the LLC
+ *      access stream and a no-prefetch baseline IPC.
+ *   3. Train Voyager online (train on epoch i, predict epoch i+1).
+ *   4. Replay Voyager's predictions as an LLC prefetcher and compare
+ *      IPC/accuracy/coverage against the idealized ISB baseline.
+ *
+ * Usage: quickstart [--scale=tiny|small] [--seed=N]
+ */
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "prefetch/registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/gen/workloads.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace voyager;
+    const auto cfg = Config::from_args(argc, argv);
+    const auto scale =
+        trace::gen::parse_scale(cfg.get_string("scale", "tiny"));
+    const auto seed = cfg.get_uint("seed", 1);
+
+    // 1. A workload trace: PageRank over a synthetic power-law graph.
+    const auto trace = trace::gen::make_workload("pr", scale, seed);
+    std::cout << "trace: " << trace.size() << " accesses, "
+              << trace.instructions() << " instructions\n";
+
+    // 2. Simulate with no prefetcher; capture the LLC access stream.
+    const auto sim_cfg = scale == trace::gen::Scale::Tiny
+                             ? sim::tiny_sim_config()
+                             : sim::small_sim_config();
+    sim::NullPrefetcher none;
+    const auto baseline = sim::simulate(trace, sim_cfg, none);
+    const auto stream = sim::extract_llc_stream(trace, sim_cfg);
+    std::cout << "baseline IPC: " << baseline.ipc << ", LLC stream: "
+              << stream.size() << " accesses\n";
+
+    // 3. Train Voyager online on the LLC stream.
+    core::VoyagerConfig vcfg;  // small defaults; see VoyagerConfig
+    vcfg.learning_rate = 2e-2;
+    core::VoyagerAdapter voyager(vcfg, stream);
+    core::OnlineTrainConfig train;
+    train.epochs = 5;
+    train.train_passes = 6;
+    train.cumulative = true;
+    train.max_train_samples_per_epoch = 6000;
+    const auto result = core::train_online(voyager, stream.size(), train);
+    std::cout << "trained " << result.trained_samples << " samples in "
+              << result.train_seconds << "s; model "
+              << human_bytes(voyager.parameter_bytes()) << "\n";
+
+    // 4. Replay predictions in the simulator; compare with ISB.
+    sim::ReplayPrefetcher replay("voyager", result.predictions,
+                                 voyager.parameter_bytes());
+    const auto with_voyager = sim::simulate(trace, sim_cfg, replay);
+    auto isb = prefetch::make_prefetcher("isb", 1);
+    const auto with_isb = sim::simulate(trace, sim_cfg, *isb);
+
+    std::cout << "\n              IPC    speedup  accuracy  coverage\n";
+    auto report = [&](const char *name, const sim::SimResult &r) {
+        std::cout << name << r.ipc << "  " << pct(r.speedup_over(baseline))
+                  << "   " << pct(r.accuracy) << "    " << pct(r.coverage)
+                  << "\n";
+    };
+    report("no prefetch   ", baseline);
+    report("isb (ideal)   ", with_isb);
+    report("voyager       ", with_voyager);
+
+    const auto unified = core::unified_accuracy_coverage(
+        stream, result.predictions, result.first_predicted_index, 32);
+    std::cout << "\nvoyager unified accuracy/coverage: "
+              << pct(unified.value()) << "\n";
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Delta-LSTM — the neural baseline of Hashemi et al. ("Learning Memory
+ * Access Patterns", 2018), the paper's prior-art comparison. A flat
+ * (non-hierarchical) model: one large embedding over the most frequent
+ * line *deltas* plus a PC embedding, an LSTM, and a softmax over the
+ * delta vocabulary (paper Eq. 8). It cannot represent arbitrary
+ * address correlations — only deltas in its vocabulary — which is the
+ * limitation Voyager's hierarchical vocabulary removes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+#include "sim/prefetcher.hpp"
+#include "util/types.hpp"
+
+namespace voyager::core {
+
+using sim::LlcAccess;
+
+/** Delta-LSTM hyperparameters. */
+struct DeltaLstmConfig
+{
+    std::size_t seq_len = 16;
+    std::size_t pc_embed_dim = 16;
+    std::size_t delta_embed_dim = 64;
+    std::size_t lstm_units = 64;
+    /** Delta vocabulary size (Hashemi et al. use 50K at paper scale). */
+    std::size_t max_deltas = 5000;
+    double learning_rate = 1e-3;
+    std::size_t batch_size = 64;
+    std::uint64_t seed = 42;
+
+    /** Hashemi et al. scale. */
+    static DeltaLstmConfig paper();
+};
+
+/** The delta vocabulary: most frequent line deltas of a stream. */
+class DeltaVocab
+{
+  public:
+    static DeltaVocab build(const std::vector<LlcAccess> &stream,
+                            std::size_t max_deltas);
+
+    /** Token for a delta; 0 (OOV) if not in vocabulary. */
+    std::int32_t encode(std::int64_t delta) const;
+    /** Delta for a token; token 0 decodes to nullopt. */
+    std::optional<std::int64_t> decode(std::int32_t token) const;
+
+    std::int32_t size() const
+    {
+        return static_cast<std::int32_t>(deltas_.size()) + 1;
+    }
+    /** Fraction of stream transitions covered by the vocabulary. */
+    double coverage() const { return coverage_; }
+
+  private:
+    std::unordered_map<std::int64_t, std::int32_t> ids_;
+    std::vector<std::int64_t> deltas_;
+    double coverage_ = 0.0;
+};
+
+/** A delta-sequence minibatch (row-major [sample][timestep]). */
+struct DeltaBatch
+{
+    std::size_t batch = 0;
+    std::size_t seq = 0;
+    std::vector<std::int32_t> pc;     ///< batch*seq
+    std::vector<std::int32_t> delta;  ///< batch*seq
+    std::vector<std::int32_t> labels; ///< next-delta token per sample
+};
+
+/** The Delta-LSTM network. */
+class DeltaLstmModel
+{
+  public:
+    DeltaLstmModel(const DeltaLstmConfig &cfg, std::int32_t num_pc_tokens,
+                   std::int32_t num_delta_tokens);
+
+    /** One optimizer step; @return mean loss. */
+    double train_step(const DeltaBatch &batch);
+
+    /** Top-k delta tokens per sample with probabilities. */
+    std::vector<std::vector<std::pair<std::int32_t, float>>>
+    predict(const DeltaBatch &batch, std::size_t k);
+
+    const DeltaLstmConfig &config() const { return cfg_; }
+    std::uint64_t parameter_count() const;
+    std::uint64_t parameter_bytes() const { return parameter_count() * 4; }
+
+  private:
+    void forward(const DeltaBatch &batch);
+
+    DeltaLstmConfig cfg_;
+    Rng rng_;
+    nn::Embedding pc_emb_;
+    nn::Embedding delta_emb_;
+    nn::Lstm lstm_;
+    nn::Linear head_;
+    nn::Adam opt_;
+
+    std::vector<nn::Matrix> xs_;
+    nn::Matrix h_;
+    nn::Matrix logits_;
+    std::vector<std::vector<std::int32_t>> step_pc_ids_;
+    std::vector<std::vector<std::int32_t>> step_delta_ids_;
+};
+
+}  // namespace voyager::core

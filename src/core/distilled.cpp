@@ -1,0 +1,106 @@
+#include "core/distilled.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace voyager::core {
+
+std::uint64_t
+DistilledPrefetcher::key(Addr prev, Addr line, Addr pc) const
+{
+    std::uint64_t k = line * 0x9e3779b97f4a7c15ull;
+    if (cfg_.use_prev)
+        k ^= prev * 0xbf58476d1ce4e5b9ull;
+    if (cfg_.use_pc)
+        k ^= pc * 0x94d049bb133111ebull;
+    return k;
+}
+
+DistilledPrefetcher
+DistilledPrefetcher::distill(
+    const std::vector<sim::LlcAccess> &stream,
+    const std::vector<std::vector<Addr>> &predictions,
+    const DistillConfig &cfg)
+{
+    DistilledPrefetcher pf(cfg);
+
+    // Vote: context -> predicted line -> count.
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<Addr, std::uint32_t>> votes;
+    std::unordered_map<std::uint64_t, std::uint32_t> context_freq;
+    Addr prev = 0;
+    bool have_prev = false;
+    for (std::size_t i = 0;
+         i < stream.size() && i < predictions.size(); ++i) {
+        const auto &a = stream[i];
+        if (!predictions[i].empty() && (have_prev || !cfg.use_prev)) {
+            const auto k = pf.key(prev, a.line, a.pc);
+            ++context_freq[k];
+            auto &v = votes[k];
+            for (const Addr p : predictions[i])
+                ++v[p];
+        }
+        prev = a.line;
+        have_prev = true;
+    }
+
+    // Keep the most frequent contexts if over budget.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(votes.size());
+    for (const auto &[k, v] : votes)
+        keys.push_back(k);
+    if (keys.size() > cfg.max_entries) {
+        std::nth_element(keys.begin(), keys.begin() + cfg.max_entries,
+                         keys.end(),
+                         [&](std::uint64_t a, std::uint64_t b) {
+                             return context_freq[a] > context_freq[b];
+                         });
+        keys.resize(cfg.max_entries);
+    }
+
+    for (const auto k : keys) {
+        const auto &v = votes[k];
+        std::vector<std::pair<std::uint32_t, Addr>> ranked;
+        ranked.reserve(v.size());
+        for (const auto &[line, cnt] : v)
+            ranked.emplace_back(cnt, line);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        auto &slot = pf.table_[k];
+        for (std::size_t i = 0;
+             i < ranked.size() && i < cfg.degree; ++i)
+            slot.push_back(ranked[i].second);
+    }
+    return pf;
+}
+
+std::vector<Addr>
+DistilledPrefetcher::on_access(const sim::LlcAccess &access)
+{
+    std::vector<Addr> out;
+    if (have_prev_ || !cfg_.use_prev) {
+        const auto it =
+            table_.find(key(prev_line_, access.line, access.pc));
+        if (it != table_.end())
+            out = it->second;
+    }
+    prev_line_ = access.line;
+    have_prev_ = true;
+    return out;
+}
+
+std::uint64_t
+DistilledPrefetcher::storage_bytes() const
+{
+    // Key tag (8 B) + degree line addresses (8 B each).
+    std::uint64_t bytes = 0;
+    for (const auto &[k, v] : table_)
+        bytes += 8 + 8 * v.size();
+    return bytes;
+}
+
+}  // namespace voyager::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Neural-inspired practical prefetcher (paper §5.5): distills a
+ * trained neural model's predictions into a plain correlation table —
+ * the Glider-style route of keeping the learned policy but dropping
+ * the network at deployment time. The table is keyed by a hash of
+ * (previous line, current line, PC) and stores the model's
+ * majority-vote predictions for that context, so lookup is O(1) and
+ * hardware-plausible while the *labels* were chosen by Voyager's
+ * multi-label learning.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+
+namespace voyager::core {
+
+/** Distillation/table parameters. */
+struct DistillConfig
+{
+    std::uint32_t degree = 1;
+    bool use_pc = true;      ///< include the PC in the context key
+    bool use_prev = true;    ///< include the previous line in the key
+    /** Keep at most this many table entries (most frequent contexts). */
+    std::size_t max_entries = 1u << 20;
+};
+
+/** A table-based prefetcher distilled from per-index predictions. */
+class DistilledPrefetcher final : public sim::Prefetcher
+{
+  public:
+    /**
+     * Build the table from a stream and a model's per-index
+     * predictions (e.g. core::OnlineResult::predictions): for every
+     * context, the most frequently predicted lines win.
+     */
+    static DistilledPrefetcher
+    distill(const std::vector<sim::LlcAccess> &stream,
+            const std::vector<std::vector<Addr>> &predictions,
+            const DistillConfig &cfg = {});
+
+    std::string name() const override { return "voyager_distilled"; }
+    std::vector<Addr> on_access(const sim::LlcAccess &access) override;
+    std::uint64_t storage_bytes() const override;
+
+    std::size_t table_entries() const { return table_.size(); }
+
+  private:
+    explicit DistilledPrefetcher(const DistillConfig &cfg) : cfg_(cfg) {}
+
+    std::uint64_t key(Addr prev, Addr line, Addr pc) const;
+
+    DistillConfig cfg_;
+    std::unordered_map<std::uint64_t, std::vector<Addr>> table_;
+    Addr prev_line_ = 0;
+    bool have_prev_ = false;
+};
+
+}  // namespace voyager::core

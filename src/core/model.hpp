@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The Voyager network (paper §4, Fig. 2): PC/page/offset embeddings, a
+ * page-aware offset embedding via mixture-of-experts attention, two
+ * LSTMs (page and offset), and two linear heads producing probability
+ * distributions over page tokens and offset tokens. Trained with
+ * multi-label BCE (§4.4) or single-label softmax CE (ablations).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/labeler.hpp"
+#include "nn/adam.hpp"
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+
+namespace voyager::core {
+
+/**
+ * How the multi-label objective of §4.4 is realized.
+ *
+ * SoftmaxBest: softmax cross-entropy against the candidate label the
+ * model currently ranks highest — a direct implementation of "the
+ * model can learn the label that is most predictable". Converges much
+ * faster at small scale and is the default.
+ *
+ * Bce: the paper's literal binary cross-entropy over all candidates
+ * (with a positive-class weight to counter vocabulary-scale class
+ * imbalance).
+ */
+enum class MultiLabelLoss
+{
+    SoftmaxBest = 0,
+    Bce = 1,
+};
+
+/** All Voyager hyperparameters (paper Table 1 and the small default). */
+struct VoyagerConfig
+{
+    std::size_t seq_len = 16;          ///< history length
+    std::size_t pc_embed_dim = 16;
+    std::size_t page_embed_dim = 32;
+    std::size_t num_experts = 10;      ///< offset embed = experts * page
+    std::size_t lstm_units = 64;
+    float dropout_keep = 0.8f;
+    float attention_scale = 1.0f;      ///< the paper's factor f
+    double learning_rate = 1e-3;
+    double lr_decay_ratio = 2.0;       ///< LR divided by this per epoch
+    double grad_clip = 5.0;            ///< global grad-norm clip; 0=off
+    std::size_t batch_size = 64;
+    bool use_pc_feature = true;        ///< Fig. 12 PC-history ablation
+    bool multi_label = true;           ///< multi-label vs. first-label CE
+    /** How the multi-label objective is realized (see MultiLabelLoss). */
+    MultiLabelLoss multi_label_loss = MultiLabelLoss::SoftmaxBest;
+    /** Positive-class weight in the BCE loss (counteracts the one-
+     *  positive-vs-vocabulary-of-negatives imbalance). */
+    float bce_pos_weight = 20.0f;
+    /** Labeling schemes supplying training labels (§4.4). */
+    std::vector<LabelScheme> schemes = {
+        LabelScheme::Global, LabelScheme::Pc, LabelScheme::BasicBlock,
+        LabelScheme::Spatial, LabelScheme::CoOccurrence,
+    };
+    std::uint64_t seed = 42;
+
+    /** Offset-embedding width (the paper's 25600 = 256 x 100). */
+    std::size_t
+    offset_embed_dim() const
+    {
+        return page_embed_dim * num_experts;
+    }
+
+    /** Paper Table 1 hyperparameters. */
+    static VoyagerConfig paper();
+};
+
+/** A (page token, offset token) training label. */
+struct TokenLabel
+{
+    std::int32_t page = 0;
+    std::int32_t offset = 0;
+
+    bool operator==(const TokenLabel &) const = default;
+};
+
+/** A token-level minibatch (row-major [sample][timestep]). */
+struct VoyagerBatch
+{
+    std::size_t batch = 0;
+    std::size_t seq = 0;
+    std::vector<std::int32_t> pc;      ///< batch*seq
+    std::vector<std::int32_t> page;    ///< batch*seq
+    std::vector<std::int32_t> offset;  ///< batch*seq
+    /** Candidate labels per sample (training only; §4.4). */
+    std::vector<std::vector<TokenLabel>> labels;
+};
+
+/** One (page token, offset token) candidate with its probability. */
+struct TokenPrediction
+{
+    std::int32_t page = 0;
+    std::int32_t offset = 0;
+    float prob = 0.0f;
+};
+
+/** The Voyager neural network. */
+class VoyagerModel
+{
+  public:
+    VoyagerModel(const VoyagerConfig &cfg, std::int32_t num_pc_tokens,
+                 std::int32_t num_page_tokens,
+                 std::int32_t num_offset_tokens);
+
+    /** One optimizer step on a batch. @return mean loss. */
+    double train_step(const VoyagerBatch &batch);
+
+    /** Top-k (page, offset) candidates per sample, by joint prob. */
+    std::vector<std::vector<TokenPrediction>>
+    predict(const VoyagerBatch &batch, std::size_t k);
+
+    /** Divide the learning rate (called at epoch boundaries). */
+    void decay_lr() { opt_.decay_lr(cfg_.lr_decay_ratio); }
+
+    const VoyagerConfig &config() const { return cfg_; }
+
+    /** All weight matrices (for serialization / compression). */
+    std::vector<nn::Matrix *> weights();
+    std::vector<const nn::Matrix *> weights() const;
+
+    std::uint64_t parameter_count() const;
+    /** fp32 dense model size in bytes. */
+    std::uint64_t parameter_bytes() const { return parameter_count() * 4; }
+    /** Bytes in the embedding layers alone (the §4.2 bottleneck). */
+    std::uint64_t embedding_bytes() const;
+
+    nn::Embedding &pc_embedding() { return pc_emb_; }
+    nn::Embedding &page_embedding() { return page_emb_; }
+    nn::Embedding &offset_embedding() { return offset_emb_; }
+
+  private:
+    /** Run the network; fills logits. @param training enables dropout. */
+    void forward(const VoyagerBatch &batch, bool training);
+    /** Backprop from head-logit gradients through everything. */
+    void backward(const VoyagerBatch &batch,
+                  const nn::Matrix &dpage_logits,
+                  const nn::Matrix &doffset_logits);
+
+    VoyagerConfig cfg_;
+    Rng rng_;
+
+    nn::Embedding pc_emb_;
+    nn::Embedding page_emb_;
+    nn::Embedding offset_emb_;
+    std::vector<nn::MoeAttention> attn_;  ///< one per timestep
+    nn::Lstm page_lstm_;
+    nn::Lstm offset_lstm_;
+    nn::Dropout page_dropout_;
+    nn::Dropout offset_dropout_;
+    nn::Linear page_head_;
+    nn::Linear offset_head_;
+    nn::Adam opt_;
+
+    // Forward caches.
+    std::vector<nn::Matrix> xs_;          ///< per-step LSTM inputs
+    nn::Matrix h_page_;
+    nn::Matrix h_offset_;
+    nn::Matrix page_logits_;
+    nn::Matrix offset_logits_;
+    std::vector<std::vector<std::int32_t>> step_pc_ids_;
+    std::vector<std::vector<std::int32_t>> step_page_ids_;
+    std::vector<std::vector<std::int32_t>> step_offset_ids_;
+};
+
+}  // namespace voyager::core

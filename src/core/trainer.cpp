@@ -1,0 +1,390 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "util/random.hpp"
+
+namespace voyager::core {
+
+namespace {
+
+double
+seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+OnlineResult
+train_online(SequenceModel &model, std::size_t stream_size,
+             const OnlineTrainConfig &cfg)
+{
+    OnlineResult res;
+    res.predictions.assign(stream_size, {});
+    if (stream_size == 0 || cfg.epochs == 0)
+        return res;
+
+    const std::size_t epoch_len =
+        (stream_size + cfg.epochs - 1) / cfg.epochs;
+    res.first_predicted_index = std::min(stream_size, epoch_len);
+
+    Rng rng(cfg.seed);
+    for (std::size_t e = 0; e < cfg.epochs; ++e) {
+        const std::size_t begin = e * epoch_len;
+        const std::size_t end = std::min(stream_size, begin + epoch_len);
+        if (begin >= end)
+            break;
+        std::vector<std::size_t> indices;
+        indices.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            indices.push_back(i);
+
+        // Inference first: the model has only seen epochs < e.
+        if (e > 0) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto preds = model.predict_on(indices, cfg.degree);
+            res.inference_seconds += seconds_since(t0);
+            assert(preds.size() == indices.size());
+            for (std::size_t k = 0; k < indices.size(); ++k)
+                res.predictions[indices[k]] = std::move(preds[k]);
+            res.predicted_samples += indices.size();
+        }
+
+        // Then train on this epoch (or, cumulatively, on everything
+        // seen so far).
+        std::vector<std::size_t> train_idx;
+        if (cfg.cumulative) {
+            train_idx.reserve(end);
+            for (std::size_t i = 0; i < end; ++i)
+                train_idx.push_back(i);
+        } else {
+            train_idx = indices;
+        }
+        if (cfg.max_train_samples_per_epoch > 0 &&
+            train_idx.size() > cfg.max_train_samples_per_epoch) {
+            rng.shuffle(train_idx);
+            train_idx.resize(cfg.max_train_samples_per_epoch);
+            std::sort(train_idx.begin(), train_idx.end());
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        double loss = 0.0;
+        for (std::size_t pass = 0; pass < cfg.train_passes; ++pass) {
+            loss = model.train_on(train_idx);
+            res.trained_samples += train_idx.size();
+        }
+        res.train_seconds += seconds_since(t0);
+        res.epoch_losses.push_back(loss);
+        model.on_epoch_end();
+    }
+    return res;
+}
+
+OnlineResult
+train_offline(SequenceModel &model, std::size_t stream_size,
+              double train_fraction, const OnlineTrainConfig &cfg)
+{
+    OnlineResult res;
+    res.predictions.assign(stream_size, {});
+    if (stream_size == 0)
+        return res;
+    const auto split = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(stream_size));
+    res.first_predicted_index = split;
+
+    std::vector<std::size_t> train_idx(split);
+    for (std::size_t i = 0; i < split; ++i)
+        train_idx[i] = i;
+    Rng rng(cfg.seed);
+    if (cfg.max_train_samples_per_epoch > 0 &&
+        train_idx.size() > cfg.max_train_samples_per_epoch) {
+        rng.shuffle(train_idx);
+        train_idx.resize(cfg.max_train_samples_per_epoch);
+        std::sort(train_idx.begin(), train_idx.end());
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t e = 0; e < cfg.epochs; ++e) {
+        double loss = 0.0;
+        for (std::size_t pass = 0; pass < cfg.train_passes; ++pass) {
+            loss = model.train_on(train_idx);
+            res.trained_samples += train_idx.size();
+        }
+        res.epoch_losses.push_back(loss);
+        model.on_epoch_end();
+    }
+    res.train_seconds = seconds_since(t0);
+
+    std::vector<std::size_t> test_idx;
+    test_idx.reserve(stream_size - split);
+    for (std::size_t i = split; i < stream_size; ++i)
+        test_idx.push_back(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    auto preds = model.predict_on(test_idx, cfg.degree);
+    res.inference_seconds = seconds_since(t1);
+    for (std::size_t k = 0; k < test_idx.size(); ++k)
+        res.predictions[test_idx[k]] = std::move(preds[k]);
+    res.predicted_samples = test_idx.size();
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// VoyagerAdapter
+// ---------------------------------------------------------------------
+
+VoyagerAdapter::VoyagerAdapter(const VoyagerConfig &cfg,
+                               const std::vector<LlcAccess> &stream,
+                               const VocabConfig &vocab_cfg,
+                               const LabelerConfig &labeler_cfg)
+    : cfg_(cfg), stream_(stream),
+      vocab_(Vocabulary::build(stream, vocab_cfg)),
+      encoded_(encode_stream(stream, vocab_)),
+      labels_(compute_labels(stream, labeler_cfg)),
+      model_(cfg, vocab_.num_pc_tokens(), vocab_.num_page_tokens(),
+             vocab_.num_offset_tokens())
+{
+}
+
+void
+VoyagerAdapter::fill_histories(const std::vector<std::size_t> &indices,
+                               VoyagerBatch &batch) const
+{
+    const std::size_t T = cfg_.seq_len;
+    batch.batch = indices.size();
+    batch.seq = T;
+    batch.pc.resize(indices.size() * T);
+    batch.page.resize(indices.size() * T);
+    batch.offset.resize(indices.size() * T);
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+        const std::size_t i = indices[b];
+        assert(i + 1 >= T && i < encoded_.size());
+        for (std::size_t t = 0; t < T; ++t) {
+            const std::size_t s = i + 1 - T + t;
+            batch.pc[b * T + t] = encoded_.pc[s];
+            batch.page[b * T + t] = encoded_.page[s];
+            batch.offset[b * T + t] = encoded_.offset[s];
+        }
+    }
+}
+
+bool
+VoyagerAdapter::sample_labels(std::size_t i,
+                              std::vector<TokenLabel> &labels) const
+{
+    labels.clear();
+    const Addr prev_line = stream_[i].line;
+    for (const Addr lab : distinct_labels(labels_[i], cfg_.schemes)) {
+        const Token t = vocab_.encode(/*pc=*/0, lab, prev_line);
+        if (t.page == Vocabulary::kOovPage)
+            continue;
+        const TokenLabel tl{t.page, t.offset};
+        if (std::find(labels.begin(), labels.end(), tl) == labels.end())
+            labels.push_back(tl);
+    }
+    return !labels.empty();
+}
+
+double
+VoyagerAdapter::train_on(const std::vector<std::size_t> &indices)
+{
+    const std::size_t bs = cfg_.batch_size;
+    std::vector<std::size_t> usable;
+    usable.reserve(indices.size());
+    std::vector<TokenLabel> labels;
+    for (const std::size_t i : indices) {
+        if (i + 1 < cfg_.seq_len || i >= stream_.size())
+            continue;
+        usable.push_back(i);
+    }
+
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    VoyagerBatch batch;
+    std::vector<std::size_t> chunk;
+    for (std::size_t pos = 0; pos < usable.size(); pos += bs) {
+        chunk.clear();
+        batch.labels.clear();
+        for (std::size_t k = pos;
+             k < std::min(usable.size(), pos + bs); ++k) {
+            if (!sample_labels(usable[k], labels))
+                continue;  // nothing representable to learn
+            chunk.push_back(usable[k]);
+            batch.labels.push_back(labels);
+        }
+        if (chunk.empty())
+            continue;
+        fill_histories(chunk, batch);
+        loss_sum += model_.train_step(batch);
+        ++batches;
+    }
+    return batches ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+std::vector<std::vector<Addr>>
+VoyagerAdapter::predict_on(const std::vector<std::size_t> &indices,
+                           std::uint32_t degree)
+{
+    std::vector<std::vector<Addr>> out(indices.size());
+    const std::size_t bs = cfg_.batch_size;
+    VoyagerBatch batch;
+    std::vector<std::size_t> chunk;
+    std::vector<std::size_t> chunk_slots;
+    for (std::size_t pos = 0; pos < indices.size(); pos += bs) {
+        chunk.clear();
+        chunk_slots.clear();
+        for (std::size_t k = pos;
+             k < std::min(indices.size(), pos + bs); ++k) {
+            if (indices[k] + 1 < cfg_.seq_len ||
+                indices[k] >= stream_.size())
+                continue;
+            chunk.push_back(indices[k]);
+            chunk_slots.push_back(k);
+        }
+        if (chunk.empty())
+            continue;
+        fill_histories(chunk, batch);
+        // Over-fetch candidates so OOV/undecodable ones can be skipped.
+        const auto preds = model_.predict(batch, degree + 2);
+        for (std::size_t b = 0; b < chunk.size(); ++b) {
+            const Addr prev_line = stream_[chunk[b]].line;
+            auto &slot = out[chunk_slots[b]];
+            for (const auto &p : preds[b]) {
+                if (slot.size() >= degree)
+                    break;
+                const auto line =
+                    vocab_.decode(p.page, p.offset, prev_line);
+                if (!line)
+                    continue;
+                if (std::find(slot.begin(), slot.end(), *line) ==
+                    slot.end())
+                    slot.push_back(*line);
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// DeltaLstmAdapter
+// ---------------------------------------------------------------------
+
+DeltaLstmAdapter::DeltaLstmAdapter(const DeltaLstmConfig &cfg,
+                                   const std::vector<LlcAccess> &stream)
+    : cfg_(cfg), stream_(stream),
+      vocab_(DeltaVocab::build(stream, cfg.max_deltas))
+{
+    // Precompute per-transition delta tokens and PC ids.
+    delta_tokens_.assign(stream.size(), 0);
+    pc_tokens_.assign(stream.size(), 0);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (i > 0) {
+            const std::int64_t d =
+                static_cast<std::int64_t>(stream[i].line) -
+                static_cast<std::int64_t>(stream[i - 1].line);
+            delta_tokens_[i] = vocab_.encode(d);
+        }
+        auto [it, inserted] = pc_ids_.try_emplace(
+            stream[i].pc, static_cast<std::int32_t>(pc_ids_.size()) + 1);
+        pc_tokens_[i] = it->second;
+    }
+    model_ = std::make_unique<DeltaLstmModel>(
+        cfg_, static_cast<std::int32_t>(pc_ids_.size()) + 1,
+        vocab_.size());
+}
+
+void
+DeltaLstmAdapter::fill_histories(const std::vector<std::size_t> &indices,
+                                 DeltaBatch &batch) const
+{
+    const std::size_t T = cfg_.seq_len;
+    batch.batch = indices.size();
+    batch.seq = T;
+    batch.pc.resize(indices.size() * T);
+    batch.delta.resize(indices.size() * T);
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+        const std::size_t i = indices[b];
+        for (std::size_t t = 0; t < T; ++t) {
+            const std::size_t s = i + 1 - T + t;
+            batch.pc[b * T + t] = pc_tokens_[s];
+            batch.delta[b * T + t] = delta_tokens_[s];
+        }
+    }
+}
+
+double
+DeltaLstmAdapter::train_on(const std::vector<std::size_t> &indices)
+{
+    const std::size_t bs = cfg_.batch_size;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    DeltaBatch batch;
+    std::vector<std::size_t> chunk;
+    for (std::size_t pos = 0; pos < indices.size(); pos += bs) {
+        chunk.clear();
+        batch.labels.clear();
+        for (std::size_t k = pos;
+             k < std::min(indices.size(), pos + bs); ++k) {
+            const std::size_t i = indices[k];
+            if (i < cfg_.seq_len || i + 1 >= stream_.size())
+                continue;
+            const std::int32_t label = delta_tokens_[i + 1];
+            if (label == 0)
+                continue;  // next delta outside the vocabulary
+            chunk.push_back(i);
+            batch.labels.push_back(label);
+        }
+        if (chunk.empty())
+            continue;
+        fill_histories(chunk, batch);
+        loss_sum += model_->train_step(batch);
+        ++batches;
+    }
+    return batches ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+std::vector<std::vector<Addr>>
+DeltaLstmAdapter::predict_on(const std::vector<std::size_t> &indices,
+                             std::uint32_t degree)
+{
+    std::vector<std::vector<Addr>> out(indices.size());
+    const std::size_t bs = cfg_.batch_size;
+    DeltaBatch batch;
+    std::vector<std::size_t> chunk;
+    std::vector<std::size_t> chunk_slots;
+    for (std::size_t pos = 0; pos < indices.size(); pos += bs) {
+        chunk.clear();
+        chunk_slots.clear();
+        for (std::size_t k = pos;
+             k < std::min(indices.size(), pos + bs); ++k) {
+            if (indices[k] < cfg_.seq_len ||
+                indices[k] >= stream_.size())
+                continue;
+            chunk.push_back(indices[k]);
+            chunk_slots.push_back(k);
+        }
+        if (chunk.empty())
+            continue;
+        fill_histories(chunk, batch);
+        const auto preds = model_->predict(batch, degree + 1);
+        for (std::size_t b = 0; b < chunk.size(); ++b) {
+            const Addr cur = stream_[chunk[b]].line;
+            auto &slot = out[chunk_slots[b]];
+            for (const auto &[tok, prob] : preds[b]) {
+                if (slot.size() >= degree)
+                    break;
+                const auto d = vocab_.decode(tok);
+                if (!d)
+                    continue;
+                slot.push_back(static_cast<Addr>(
+                    static_cast<std::int64_t>(cur) + *d));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace voyager::core

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Online training protocol (paper §5.1): the stream is cut into
+ * epochs; the model trained through epoch i-1 produces predictions for
+ * epoch i, then trains on epoch i. No inference happens in epoch 0.
+ *
+ * SequenceModel adapters bind the token-level networks (Voyager,
+ * Delta-LSTM) to an LLC access stream: they own the vocabulary, the
+ * label streams and the decode step back to line addresses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta_lstm.hpp"
+#include "core/labeler.hpp"
+#include "core/model.hpp"
+#include "core/vocab.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace voyager::core {
+
+/** Stream-index-level model interface used by the online trainer. */
+class SequenceModel
+{
+  public:
+    virtual ~SequenceModel() = default;
+
+    virtual std::string name() const = 0;
+
+    /** One training pass over the given prediction points. */
+    virtual double train_on(const std::vector<std::size_t> &indices) = 0;
+
+    /** Top-`degree` predicted lines per prediction point. */
+    virtual std::vector<std::vector<Addr>>
+    predict_on(const std::vector<std::size_t> &indices,
+               std::uint32_t degree) = 0;
+
+    /** Called at each epoch boundary (e.g. LR decay). */
+    virtual void on_epoch_end() {}
+
+    /** fp32 model size. */
+    virtual std::uint64_t parameter_bytes() const = 0;
+};
+
+/** Online-training schedule. */
+struct OnlineTrainConfig
+{
+    std::size_t epochs = 5;
+    std::uint32_t degree = 1;
+    /** Extra passes over each epoch's samples (online SGD repeats). */
+    std::size_t train_passes = 1;
+    /** Cap on training samples per epoch; 0 = all. */
+    std::size_t max_train_samples_per_epoch = 0;
+    /** Train on all data seen so far (epochs <= current) instead of
+     *  only the newest epoch. Still causal: epoch e's predictions use
+     *  a model trained exclusively on epochs < e. Improves sample
+     *  efficiency at miniature scale. */
+    bool cumulative = false;
+    std::uint64_t seed = 7;
+};
+
+/** What the online protocol produces. */
+struct OnlineResult
+{
+    /** Per-stream-index predictions; empty for epoch-0 indices. */
+    std::vector<std::vector<Addr>> predictions;
+    /** First index with predictions (start of epoch 1). */
+    std::size_t first_predicted_index = 0;
+    std::vector<double> epoch_losses;
+    double train_seconds = 0.0;
+    double inference_seconds = 0.0;
+    std::uint64_t trained_samples = 0;
+    std::uint64_t predicted_samples = 0;
+};
+
+/** Run the train-on-epoch-i / predict-epoch-i+1 protocol. */
+OnlineResult train_online(SequenceModel &model, std::size_t stream_size,
+                          const OnlineTrainConfig &cfg);
+
+/**
+ * The *offline* protocol of prior ML work (Hashemi et al.; paper
+ * §2.2): train on the first `train_fraction` of the stream for
+ * `epochs` passes, then predict the held-out remainder once. The paper
+ * argues this methodology is unrealistic for hardware (no continuous
+ * adaptation); it is provided so the two protocols can be compared.
+ */
+OnlineResult train_offline(SequenceModel &model, std::size_t stream_size,
+                           double train_fraction,
+                           const OnlineTrainConfig &cfg);
+
+/** Binds VoyagerModel to a stream: vocab + labels + decode. */
+class VoyagerAdapter final : public SequenceModel
+{
+  public:
+    VoyagerAdapter(const VoyagerConfig &cfg,
+                   const std::vector<LlcAccess> &stream,
+                   const VocabConfig &vocab_cfg = {},
+                   const LabelerConfig &labeler_cfg = {});
+
+    std::string name() const override { return "voyager"; }
+    double train_on(const std::vector<std::size_t> &indices) override;
+    std::vector<std::vector<Addr>>
+    predict_on(const std::vector<std::size_t> &indices,
+               std::uint32_t degree) override;
+    void on_epoch_end() override { model_.decay_lr(); }
+    std::uint64_t parameter_bytes() const override
+    {
+        return model_.parameter_bytes();
+    }
+
+    VoyagerModel &model() { return model_; }
+    const Vocabulary &vocab() const { return vocab_; }
+    const std::vector<LabelSet> &labels() const { return labels_; }
+    const EncodedStream &encoded() const { return encoded_; }
+
+    /** Smallest index with enough history to form a sample. */
+    std::size_t min_index() const { return cfg_.seq_len - 1; }
+
+  private:
+    /** Fill histories for `indices` into a batch (no labels). */
+    void fill_histories(const std::vector<std::size_t> &indices,
+                        VoyagerBatch &batch) const;
+    /** Token labels of sample i under the enabled schemes. */
+    bool sample_labels(std::size_t i,
+                       std::vector<TokenLabel> &labels) const;
+
+    VoyagerConfig cfg_;
+    const std::vector<LlcAccess> &stream_;
+    Vocabulary vocab_;
+    EncodedStream encoded_;
+    std::vector<LabelSet> labels_;
+    VoyagerModel model_;
+};
+
+/** Binds DeltaLstmModel to a stream. */
+class DeltaLstmAdapter final : public SequenceModel
+{
+  public:
+    DeltaLstmAdapter(const DeltaLstmConfig &cfg,
+                     const std::vector<LlcAccess> &stream);
+
+    std::string name() const override { return "delta_lstm"; }
+    double train_on(const std::vector<std::size_t> &indices) override;
+    std::vector<std::vector<Addr>>
+    predict_on(const std::vector<std::size_t> &indices,
+               std::uint32_t degree) override;
+    std::uint64_t parameter_bytes() const override
+    {
+        return model_->parameter_bytes();
+    }
+
+    DeltaLstmModel &model() { return *model_; }
+    const DeltaVocab &vocab() const { return vocab_; }
+    std::size_t min_index() const { return cfg_.seq_len; }
+
+  private:
+    void fill_histories(const std::vector<std::size_t> &indices,
+                        DeltaBatch &batch) const;
+
+    DeltaLstmConfig cfg_;
+    const std::vector<LlcAccess> &stream_;
+    DeltaVocab vocab_;
+    /** Constructed after the PC scan (vocab sizes needed first). */
+    std::unique_ptr<DeltaLstmModel> model_;
+    std::vector<std::int32_t> delta_tokens_;  ///< token of line[i]-line[i-1]
+    std::vector<std::int32_t> pc_tokens_;
+    std::unordered_map<Addr, std::int32_t> pc_ids_;
+};
+
+}  // namespace voyager::core

@@ -1,0 +1,94 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace voyager::nn {
+
+Adam::Adam(const AdamConfig &cfg) : cfg_(cfg) {}
+
+void
+Adam::add_param(Param *p)
+{
+    DenseState s;
+    s.param = p;
+    s.m = Matrix(p->value.rows(), p->value.cols());
+    s.v = Matrix(p->value.rows(), p->value.cols());
+    dense_.push_back(std::move(s));
+}
+
+void
+Adam::add_embedding(Embedding *e)
+{
+    SparseState s;
+    s.emb = e;
+    s.m = Matrix(e->vocab(), e->dim());
+    s.v = Matrix(e->vocab(), e->dim());
+    sparse_.push_back(std::move(s));
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    if (cfg_.clip_norm > 0.0) {
+        std::vector<Matrix *> grads;
+        for (auto &s : dense_)
+            grads.push_back(&s.param->grad);
+        // Embedding grads participate in the global norm as well.
+        for (auto &s : sparse_)
+            grads.push_back(&s.emb->param().grad);
+        clip_gradients(grads, static_cast<float>(cfg_.clip_norm));
+    }
+
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+    const float lr_t =
+        static_cast<float>(cfg_.lr * std::sqrt(bc2) / bc1);
+    const auto b1 = static_cast<float>(cfg_.beta1);
+    const auto b2 = static_cast<float>(cfg_.beta2);
+    const auto eps = static_cast<float>(cfg_.eps);
+
+    auto update_span = [&](float *w, float *g, float *m, float *v,
+                           std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+            w[i] -= lr_t * m[i] / (std::sqrt(v[i]) + eps);
+            g[i] = 0.0f;
+        }
+    };
+
+    for (auto &s : dense_) {
+        update_span(s.param->value.data(), s.param->grad.data(),
+                    s.m.data(), s.v.data(), s.param->value.size());
+    }
+    for (auto &s : sparse_) {
+        Param &p = s.emb->param();
+        const std::size_t dim = p.value.cols();
+        for (const auto row : s.emb->touched()) {
+            update_span(p.value.row(row), p.grad.row(row), s.m.row(row),
+                        s.v.row(row), dim);
+        }
+        s.emb->clear_touched();
+    }
+}
+
+void
+Adam::zero_grad()
+{
+    for (auto &s : dense_)
+        s.param->zero_grad();
+    for (auto &s : sparse_) {
+        Param &p = s.emb->param();
+        for (const auto row : s.emb->touched()) {
+            float *g = p.grad.row(row);
+            for (std::size_t c = 0; c < p.grad.cols(); ++c)
+                g[c] = 0.0f;
+        }
+        s.emb->clear_touched();
+    }
+}
+
+}  // namespace voyager::nn

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Adam optimizer with dense updates for ordinary parameters and lazy
+ * (touched-rows-only) updates for embedding tables — the embedding
+ * layer dominates the parameter count, so sparse updates are what make
+ * training tractable (§4.2 of the paper discusses the embedding layer
+ * as the storage/compute bottleneck).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/matrix.hpp"
+
+namespace voyager::nn {
+
+/** Adam hyperparameters. */
+struct AdamConfig
+{
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    /** Global gradient-norm clip; <= 0 disables clipping. */
+    double clip_norm = 5.0;
+};
+
+/** Adam over a fixed set of registered parameters. */
+class Adam
+{
+  public:
+    explicit Adam(const AdamConfig &cfg = {});
+
+    /** Register a dense parameter. Must outlive the optimizer. */
+    void add_param(Param *p);
+
+    /** Register an embedding for sparse (touched-row) updates. */
+    void add_embedding(Embedding *e);
+
+    /** Apply one update; zeroes all gradients and touched sets. */
+    void step();
+
+    /** Zero gradients without updating. */
+    void zero_grad();
+
+    double lr() const { return cfg_.lr; }
+    void set_lr(double lr) { cfg_.lr = lr; }
+    /** Divide the learning rate (the paper's decay ratio is 2). */
+    void decay_lr(double ratio) { cfg_.lr /= ratio; }
+
+    std::uint64_t steps() const { return t_; }
+
+  private:
+    struct DenseState
+    {
+        Param *param;
+        Matrix m;
+        Matrix v;
+    };
+    struct SparseState
+    {
+        Embedding *emb;
+        Matrix m;
+        Matrix v;
+    };
+
+    AdamConfig cfg_;
+    std::uint64_t t_ = 0;
+    std::vector<DenseState> dense_;
+    std::vector<SparseState> sparse_;
+};
+
+}  // namespace voyager::nn

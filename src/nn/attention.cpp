@@ -1,0 +1,110 @@
+#include "nn/attention.hpp"
+
+#include <cassert>
+
+#include "nn/ops.hpp"
+
+namespace voyager::nn {
+
+MoeAttention::MoeAttention(std::size_t experts, float scale)
+    : experts_(experts), scale_(scale)
+{
+    assert(experts_ > 0);
+}
+
+void
+MoeAttention::forward(const Matrix &page_emb, const Matrix &offset_emb,
+                      Matrix &out)
+{
+    const std::size_t batch = page_emb.rows();
+    const std::size_t d = page_emb.cols();
+    assert(offset_emb.rows() == batch);
+    assert(offset_emb.cols() == experts_ * d);
+
+    page_ = page_emb;
+    offset_ = offset_emb;
+    attn_.resize(batch, experts_);
+
+    // Scores: a(o, s) = softmax_s(f * <h_p, h_{o,s}>)  (Eq. 9).
+    for (std::size_t r = 0; r < batch; ++r) {
+        const float *p = page_emb.row(r);
+        const float *o = offset_emb.row(r);
+        float *a = attn_.row(r);
+        for (std::size_t s = 0; s < experts_; ++s) {
+            float dot = 0.0f;
+            const float *chunk = o + s * d;
+            for (std::size_t j = 0; j < d; ++j)
+                dot += p[j] * chunk[j];
+            a[s] = scale_ * dot;
+        }
+    }
+    softmax_rows(attn_);
+
+    // Output: h'_o = sum_s a(o, s) h_{o,s}  (Eq. 10).
+    out.resize(batch, d);
+    for (std::size_t r = 0; r < batch; ++r) {
+        const float *o = offset_emb.row(r);
+        const float *a = attn_.row(r);
+        float *y = out.row(r);
+        for (std::size_t s = 0; s < experts_; ++s) {
+            const float w = a[s];
+            const float *chunk = o + s * d;
+            for (std::size_t j = 0; j < d; ++j)
+                y[j] += w * chunk[j];
+        }
+    }
+}
+
+void
+MoeAttention::backward(const Matrix &dout, Matrix &dpage, Matrix &doffset)
+{
+    const std::size_t batch = page_.rows();
+    const std::size_t d = page_.cols();
+    assert(dout.rows() == batch && dout.cols() == d);
+
+    dpage.resize(batch, d);
+    doffset.resize(batch, experts_ * d);
+
+    std::vector<float> da(experts_);
+    std::vector<float> dscore(experts_);
+    for (std::size_t r = 0; r < batch; ++r) {
+        const float *p = page_.row(r);
+        const float *o = offset_.row(r);
+        const float *a = attn_.row(r);
+        const float *dy = dout.row(r);
+        float *dp = dpage.row(r);
+        float *doff = doffset.row(r);
+
+        // d a_s = <dout, chunk_s>; value path: d chunk_s += a_s * dout.
+        for (std::size_t s = 0; s < experts_; ++s) {
+            const float *chunk = o + s * d;
+            float *dchunk = doff + s * d;
+            float acc = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) {
+                acc += dy[j] * chunk[j];
+                dchunk[j] = a[s] * dy[j];
+            }
+            da[s] = acc;
+        }
+        // Softmax backward: ds_s = a_s (da_s - sum_k a_k da_k).
+        float dot = 0.0f;
+        for (std::size_t s = 0; s < experts_; ++s)
+            dot += a[s] * da[s];
+        for (std::size_t s = 0; s < experts_; ++s)
+            dscore[s] = a[s] * (da[s] - dot);
+        // Score backward through f * <p, chunk_s>.
+        for (std::size_t j = 0; j < d; ++j)
+            dp[j] = 0.0f;
+        for (std::size_t s = 0; s < experts_; ++s) {
+            const float g = scale_ * dscore[s];
+            const float *chunk = o + s * d;
+            float *dchunk = doff + s * d;
+            for (std::size_t j = 0; j < d; ++j) {
+                dp[j] += g * chunk[j];
+                dchunk[j] += g * p[j];
+            }
+        }
+    }
+}
+
+}  // namespace voyager::nn

@@ -1,0 +1,45 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace voyager::nn {
+
+double
+gradient_check(Param &param, const std::function<double()> &loss_fn,
+               const std::vector<std::size_t> &indices, float eps)
+{
+    double max_rel = 0.0;
+    float *w = param.value.data();
+    const float *g = param.grad.data();
+    for (const std::size_t i : indices) {
+        const float saved = w[i];
+        w[i] = saved + eps;
+        const double lp = loss_fn();
+        w[i] = saved - eps;
+        const double lm = loss_fn();
+        w[i] = saved;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        const double analytic = g[i];
+        const double denom =
+            std::max(1e-4, std::fabs(analytic) + std::fabs(numeric));
+        max_rel = std::max(max_rel,
+                           std::fabs(analytic - numeric) / denom);
+    }
+    return max_rel;
+}
+
+std::vector<std::size_t>
+sample_indices(std::size_t n, std::size_t k)
+{
+    std::vector<std::size_t> out;
+    if (n == 0)
+        return out;
+    const std::size_t kk = std::min(n, k);
+    out.reserve(kk);
+    for (std::size_t i = 0; i < kk; ++i)
+        out.push_back(i * n / kk);
+    return out;
+}
+
+}  // namespace voyager::nn

@@ -1,0 +1,131 @@
+#include "nn/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/ops.hpp"
+
+namespace voyager::nn {
+
+Lstm::Lstm(std::size_t in_dim, std::size_t hidden, Rng &rng)
+    : wx_(in_dim, 4 * hidden), wh_(hidden, 4 * hidden), b_(1, 4 * hidden)
+{
+    glorot_init(wx_.value, rng);
+    glorot_init(wh_.value, rng);
+    // Forget-gate bias starts at 1 (standard trick for gradient flow).
+    const std::size_t h = hidden;
+    for (std::size_t c = h; c < 2 * h; ++c)
+        b_.value.at(0, c) = 1.0f;
+}
+
+void
+Lstm::forward(const std::vector<Matrix> &xs, Matrix &h_last)
+{
+    assert(!xs.empty());
+    const std::size_t batch = xs[0].rows();
+    const std::size_t h = hidden();
+    const std::size_t T = xs.size();
+
+    xs_ = xs;
+    gates_.assign(T, Matrix());
+    cs_.assign(T, Matrix());
+    hs_.assign(T, Matrix());
+
+    Matrix h_prev(batch, h);
+    Matrix c_prev(batch, h);
+    for (std::size_t t = 0; t < T; ++t) {
+        assert(xs[t].rows() == batch && xs[t].cols() == in_dim());
+        Matrix &z = gates_[t];
+        z.resize(batch, 4 * h);
+        gemm_nn(xs[t], wx_.value, z);
+        gemm_nn(h_prev, wh_.value, z);
+        add_bias(z, b_.value);
+
+        cs_[t].resize(batch, h);
+        hs_[t].resize(batch, h);
+        for (std::size_t r = 0; r < batch; ++r) {
+            float *zr = z.row(r);
+            const float *cp = c_prev.row(r);
+            float *cr = cs_[t].row(r);
+            float *hr = hs_[t].row(r);
+            for (std::size_t j = 0; j < h; ++j) {
+                float &gi = zr[j];
+                float &gf = zr[h + j];
+                float &gg = zr[2 * h + j];
+                float &go = zr[3 * h + j];
+                gi = 1.0f / (1.0f + std::exp(-gi));
+                gf = 1.0f / (1.0f + std::exp(-gf));
+                gg = std::tanh(gg);
+                go = 1.0f / (1.0f + std::exp(-go));
+                cr[j] = gf * cp[j] + gi * gg;
+                hr[j] = go * std::tanh(cr[j]);
+            }
+        }
+        c_prev = cs_[t];
+        h_prev = hs_[t];
+    }
+    h_last = hs_.back();
+}
+
+void
+Lstm::backward(const Matrix &dh_last, std::vector<Matrix> &dxs)
+{
+    const std::size_t T = xs_.size();
+    assert(T > 0);
+    const std::size_t batch = xs_[0].rows();
+    const std::size_t h = hidden();
+    assert(dh_last.rows() == batch && dh_last.cols() == h);
+
+    dxs.assign(T, Matrix());
+    Matrix dh = dh_last;
+    Matrix dc(batch, h);
+    Matrix dz(batch, 4 * h);
+
+    for (std::size_t t = T; t-- > 0;) {
+        const Matrix &gates = gates_[t];
+        const Matrix &c = cs_[t];
+        const Matrix *c_prev = t > 0 ? &cs_[t - 1] : nullptr;
+
+        for (std::size_t r = 0; r < batch; ++r) {
+            const float *zr = gates.row(r);
+            const float *cr = c.row(r);
+            const float *cpr = c_prev ? c_prev->row(r) : nullptr;
+            const float *dhr = dh.row(r);
+            float *dcr = dc.row(r);
+            float *dzr = dz.row(r);
+            for (std::size_t j = 0; j < h; ++j) {
+                const float gi = zr[j];
+                const float gf = zr[h + j];
+                const float gg = zr[2 * h + j];
+                const float go = zr[3 * h + j];
+                const float tc = std::tanh(cr[j]);
+                const float d_h = dhr[j];
+                const float d_o = d_h * tc;
+                float d_c = dcr[j] + d_h * go * (1.0f - tc * tc);
+                const float d_i = d_c * gg;
+                const float d_f = d_c * (cpr ? cpr[j] : 0.0f);
+                const float d_g = d_c * gi;
+                dcr[j] = d_c * gf;  // flows to step t-1
+                dzr[j] = d_i * gi * (1.0f - gi);
+                dzr[h + j] = d_f * gf * (1.0f - gf);
+                dzr[2 * h + j] = d_g * (1.0f - gg * gg);
+                dzr[3 * h + j] = d_o * go * (1.0f - go);
+            }
+        }
+
+        gemm_tn(xs_[t], dz, wx_.grad);
+        bias_backward(dz, b_.grad);
+        dxs[t].resize(batch, in_dim());
+        gemm_nt(dz, wx_.value, dxs[t]);
+
+        if (t > 0) {
+            gemm_tn(hs_[t - 1], dz, wh_.grad);
+            dh.resize(batch, h);
+            dh.zero();
+            gemm_nt(dz, wh_.value, dh);
+        }
+    }
+}
+
+}  // namespace voyager::nn

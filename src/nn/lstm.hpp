@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Single-layer LSTM with explicit backward-through-time. Sequences are
+ * presented as T matrices of shape (batch, in_dim); the model consumes
+ * the final hidden state (the Voyager heads predict from the last
+ * step), so backward takes a gradient for h_T only.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/random.hpp"
+
+namespace voyager::nn {
+
+/** Single-layer LSTM (gate order i, f, g, o). */
+class Lstm
+{
+  public:
+    Lstm(std::size_t in_dim, std::size_t hidden, Rng &rng);
+
+    /**
+     * Run the sequence from zero initial state.
+     * @param xs T inputs of shape (batch, in_dim)
+     * @param h_last receives h_T (batch, hidden)
+     */
+    void forward(const std::vector<Matrix> &xs, Matrix &h_last);
+
+    /**
+     * Backprop through time from a gradient on h_T.
+     * Accumulates parameter gradients; dxs receives per-step input
+     * gradients (resized to match the cached forward inputs).
+     */
+    void backward(const Matrix &dh_last, std::vector<Matrix> &dxs);
+
+    Param &wx() { return wx_; }
+    Param &wh() { return wh_; }
+    Param &bias() { return b_; }
+    const Param &wx() const { return wx_; }
+    const Param &wh() const { return wh_; }
+    const Param &bias() const { return b_; }
+
+    std::size_t in_dim() const { return wx_.value.rows(); }
+    std::size_t hidden() const { return wh_.value.rows(); }
+
+  private:
+    Param wx_;  // (in, 4H)
+    Param wh_;  // (H, 4H)
+    Param b_;   // (1, 4H)
+
+    // Forward caches (per step).
+    std::vector<Matrix> xs_;
+    std::vector<Matrix> gates_;  // (B, 4H) post-activation [i f g o]
+    std::vector<Matrix> cs_;     // (B, H) cell states
+    std::vector<Matrix> hs_;     // (B, H) hidden states
+};
+
+}  // namespace voyager::nn

@@ -1,0 +1,4 @@
+#include "nn/matrix.hpp"
+
+// Matrix is header-only today; this TU anchors the library target and
+// keeps room for out-of-line growth.

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Row-major float matrix — the single tensor type of the NN library.
+ * Batches are rows; time steps are separate matrices. Everything the
+ * Voyager model needs (embedding rows, LSTM activations, logits) is a
+ * 2-D array, so we keep the abstraction at exactly that level.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace voyager::nn {
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(std::size_t rows, std::size_t cols, float value = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, value)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float *row(std::size_t r) { return data_.data() + r * cols_; }
+    const float *row(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+    void zero() { fill(0.0f); }
+
+    /** Reshape in place; total size must be preserved. */
+    void
+    reshape(std::size_t rows, std::size_t cols)
+    {
+        assert(rows * cols == data_.size());
+        rows_ = rows;
+        cols_ = cols;
+    }
+
+    /** Resize, discarding contents (fills with zero). */
+    void
+    resize(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0f);
+    }
+
+    bool operator==(const Matrix &) const = default;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** A trainable parameter: weights plus an accumulated gradient. */
+struct Param
+{
+    Matrix value;
+    Matrix grad;
+
+    Param() = default;
+    Param(std::size_t rows, std::size_t cols)
+        : value(rows, cols), grad(rows, cols)
+    {
+    }
+
+    void zero_grad() { grad.zero(); }
+    std::size_t size() const { return value.size(); }
+};
+
+}  // namespace voyager::nn

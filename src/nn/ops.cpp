@@ -1,0 +1,206 @@
+#include "nn/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace voyager::nn {
+
+void
+gemm_nn(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    assert(a.cols() == b.rows());
+    assert(c.rows() == a.rows() && c.cols() == b.cols());
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(p);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemm_tn(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    assert(a.rows() == b.rows());
+    assert(c.rows() == a.cols() && c.cols() == b.cols());
+    const std::size_t k = a.rows();
+    const std::size_t m = a.cols();
+    const std::size_t n = b.cols();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a.row(p);
+        const float *brow = b.row(p);
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemm_nt(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    assert(a.cols() == b.cols());
+    assert(c.rows() == a.rows() && c.cols() == b.rows());
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] += acc;
+        }
+    }
+}
+
+void
+add_inplace(Matrix &y, const Matrix &x)
+{
+    assert(y.rows() == x.rows() && y.cols() == x.cols());
+    float *yd = y.data();
+    const float *xd = x.data();
+    for (std::size_t i = 0; i < y.size(); ++i)
+        yd[i] += xd[i];
+}
+
+void
+axpy(Matrix &y, float alpha, const Matrix &x)
+{
+    assert(y.size() == x.size());
+    float *yd = y.data();
+    const float *xd = x.data();
+    for (std::size_t i = 0; i < y.size(); ++i)
+        yd[i] += alpha * xd[i];
+}
+
+void
+scale_inplace(Matrix &y, float alpha)
+{
+    float *yd = y.data();
+    for (std::size_t i = 0; i < y.size(); ++i)
+        yd[i] *= alpha;
+}
+
+void
+add_bias(Matrix &y, const Matrix &bias)
+{
+    assert(bias.rows() == 1 && bias.cols() == y.cols());
+    const float *b = bias.data();
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+        float *row = y.row(r);
+        for (std::size_t c = 0; c < y.cols(); ++c)
+            row[c] += b[c];
+    }
+}
+
+void
+bias_backward(const Matrix &dy, Matrix &bias_grad)
+{
+    assert(bias_grad.rows() == 1 && bias_grad.cols() == dy.cols());
+    float *g = bias_grad.data();
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+        const float *row = dy.row(r);
+        for (std::size_t c = 0; c < dy.cols(); ++c)
+            g[c] += row[c];
+    }
+}
+
+void
+softmax_rows(Matrix &m)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        float *row = m.row(r);
+        float mx = row[0];
+        for (std::size_t c = 1; c < m.cols(); ++c)
+            mx = std::max(mx, row[c]);
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            row[c] = std::exp(row[c] - mx);
+            sum += row[c];
+        }
+        const float inv = 1.0f / sum;
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            row[c] *= inv;
+    }
+}
+
+void
+sigmoid_inplace(Matrix &m)
+{
+    float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+}
+
+void
+tanh_inplace(Matrix &m)
+{
+    float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        d[i] = std::tanh(d[i]);
+}
+
+void
+hadamard(const Matrix &a, const Matrix &b, Matrix &y)
+{
+    assert(a.size() == b.size() && a.size() == y.size());
+    const float *ad = a.data();
+    const float *bd = b.data();
+    float *yd = y.data();
+    for (std::size_t i = 0; i < y.size(); ++i)
+        yd[i] = ad[i] * bd[i];
+}
+
+void
+hadamard_add(const Matrix &a, const Matrix &b, Matrix &y)
+{
+    assert(a.size() == b.size() && a.size() == y.size());
+    const float *ad = a.data();
+    const float *bd = b.data();
+    float *yd = y.data();
+    for (std::size_t i = 0; i < y.size(); ++i)
+        yd[i] += ad[i] * bd[i];
+}
+
+double
+sum_squares(const Matrix &m)
+{
+    double acc = 0.0;
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        acc += static_cast<double>(d[i]) * d[i];
+    return acc;
+}
+
+void
+clip_gradients(const std::vector<Matrix *> &grads, float max_norm)
+{
+    double total = 0.0;
+    for (const Matrix *g : grads)
+        total += sum_squares(*g);
+    const double norm = std::sqrt(total);
+    if (norm <= max_norm || norm == 0.0)
+        return;
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Matrix *g : grads)
+        scale_inplace(*g, scale);
+}
+
+}  // namespace voyager::nn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dense kernels: GEMM (with transpose variants), bias/elementwise ops,
+ * row softmax and sigmoid. All NN compute funnels through these.
+ */
+#pragma once
+
+#include "nn/matrix.hpp"
+
+namespace voyager::nn {
+
+/** C += A * B.  A:(m,k) B:(k,n) C:(m,n). */
+void gemm_nn(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C += A^T * B.  A:(k,m) B:(k,n) C:(m,n). Used for weight grads. */
+void gemm_tn(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C += A * B^T.  A:(m,k) B:(n,k) C:(m,n). Used for input grads. */
+void gemm_nt(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** y += x (same shape). */
+void add_inplace(Matrix &y, const Matrix &x);
+
+/** y += alpha * x. */
+void axpy(Matrix &y, float alpha, const Matrix &x);
+
+/** Scale in place. */
+void scale_inplace(Matrix &y, float alpha);
+
+/** Add a bias row vector (1,n) to every row of (m,n). */
+void add_bias(Matrix &y, const Matrix &bias);
+
+/** bias_grad (1,n) += column sums of dy (m,n). */
+void bias_backward(const Matrix &dy, Matrix &bias_grad);
+
+/** Row-wise softmax in place. Numerically stabilized. */
+void softmax_rows(Matrix &m);
+
+/** Elementwise logistic sigmoid in place. */
+void sigmoid_inplace(Matrix &m);
+
+/** Elementwise tanh in place. */
+void tanh_inplace(Matrix &m);
+
+/** Elementwise product: y = a ⊙ b. */
+void hadamard(const Matrix &a, const Matrix &b, Matrix &y);
+
+/** y += a ⊙ b. */
+void hadamard_add(const Matrix &a, const Matrix &b, Matrix &y);
+
+/** Sum of squares of all elements. */
+double sum_squares(const Matrix &m);
+
+/** Global gradient-norm clipping over a set of gradients. */
+void clip_gradients(const std::vector<Matrix *> &grads, float max_norm);
+
+}  // namespace voyager::nn

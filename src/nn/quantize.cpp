@@ -1,0 +1,81 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace voyager::nn {
+
+void
+magnitude_prune(Matrix &m, double sparsity)
+{
+    if (sparsity <= 0.0 || m.size() == 0)
+        return;
+    std::vector<float> mags(m.size());
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        mags[i] = std::fabs(d[i]);
+    auto k = static_cast<std::size_t>(
+        sparsity * static_cast<double>(m.size()));
+    k = std::min(k, m.size() - 1);
+    std::nth_element(mags.begin(), mags.begin() + k, mags.end());
+    const float threshold = mags[k];
+    float *w = m.data();
+    std::size_t zeroed = 0;
+    for (std::size_t i = 0; i < m.size() && zeroed < k; ++i) {
+        if (std::fabs(w[i]) <= threshold && w[i] != 0.0f) {
+            w[i] = 0.0f;
+            ++zeroed;
+        }
+    }
+}
+
+std::uint64_t
+nonzero_count(const Matrix &m)
+{
+    std::uint64_t n = 0;
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        n += d[i] != 0.0f;
+    return n;
+}
+
+float
+quantize_dequantize_int8(Matrix &m)
+{
+    if (m.size() == 0)
+        return 0.0f;
+    float lo = m.data()[0];
+    float hi = lo;
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        lo = std::min(lo, d[i]);
+        hi = std::max(hi, d[i]);
+    }
+    if (lo == hi)
+        return 0.0f;
+    const float scale = (hi - lo) / 255.0f;
+    float max_err = 0.0f;
+    float *w = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        if (w[i] == 0.0f)
+            continue;  // preserve pruned zeros exactly
+        const float q = std::round((w[i] - lo) / scale);
+        const float deq = lo + q * scale;
+        max_err = std::max(max_err, std::fabs(deq - w[i]));
+        w[i] = deq;
+    }
+    return max_err;
+}
+
+TensorStorage
+measure_storage(const Matrix &m, std::uint32_t bits_per_weight)
+{
+    TensorStorage s;
+    s.elements = m.size();
+    s.nonzero = nonzero_count(m);
+    s.bits_per_weight = bits_per_weight;
+    return s;
+}
+
+}  // namespace voyager::nn

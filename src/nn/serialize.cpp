@@ -1,0 +1,69 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace voyager::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x564f594d;  // "VOYM"
+}
+
+void
+save_matrix(std::ostream &os, const Matrix &m)
+{
+    const std::uint64_t r = m.rows();
+    const std::uint64_t c = m.cols();
+    os.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
+    os.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    os.write(reinterpret_cast<const char *>(&c), sizeof(c));
+    os.write(reinterpret_cast<const char *>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Matrix
+load_matrix(std::istream &is)
+{
+    std::uint32_t magic = 0;
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    if (!is || magic != kMagic)
+        throw std::runtime_error("nn: bad matrix magic");
+    is.read(reinterpret_cast<char *>(&r), sizeof(r));
+    is.read(reinterpret_cast<char *>(&c), sizeof(c));
+    Matrix m(r, c);
+    is.read(reinterpret_cast<char *>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!is)
+        throw std::runtime_error("nn: truncated matrix");
+    return m;
+}
+
+void
+save_params(std::ostream &os, const std::vector<const Matrix *> &ps)
+{
+    const std::uint64_t n = ps.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    for (const Matrix *p : ps)
+        save_matrix(os, *p);
+}
+
+void
+load_params(std::istream &is, const std::vector<Matrix *> &ps)
+{
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!is || n != ps.size())
+        throw std::runtime_error("nn: parameter count mismatch");
+    for (Matrix *p : ps) {
+        Matrix loaded = load_matrix(is);
+        if (loaded.rows() != p->rows() || loaded.cols() != p->cols())
+            throw std::runtime_error("nn: parameter shape mismatch");
+        *p = std::move(loaded);
+    }
+}
+
+}  // namespace voyager::nn

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary serialization for matrices and parameter sets, used to
+ * checkpoint trained models and to measure on-disk model size.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace voyager::nn {
+
+/** Write a matrix (shape + row-major floats). */
+void save_matrix(std::ostream &os, const Matrix &m);
+
+/** Read a matrix written by save_matrix. @throws on short read. */
+Matrix load_matrix(std::istream &is);
+
+/** Write an ordered parameter list (values only, not gradients). */
+void save_params(std::ostream &os, const std::vector<const Matrix *> &ps);
+
+/**
+ * Load into an ordered parameter list; shapes must match.
+ * @throws std::runtime_error on shape mismatch.
+ */
+void load_params(std::istream &is, const std::vector<Matrix *> &ps);
+
+}  // namespace voyager::nn

@@ -1,0 +1,63 @@
+#include "prefetch/domino.hpp"
+
+namespace voyager::prefetch {
+
+Domino::Domino(std::uint32_t degree) : degree_(degree) {}
+
+std::vector<Addr>
+Domino::on_access(const sim::LlcAccess &access)
+{
+    const Addr line = access.line;
+
+    // --- Training: (prev2, prev) -> line and prev -> line. ---
+    if (have_prev_) {
+        single_next_[prev_] = line;
+        if (have_prev2_)
+            pair_next_[pair_key(prev2_, prev_)] = line;
+    }
+
+    // --- Prediction: walk the chain starting from (prev, line). ---
+    std::vector<Addr> out;
+    Addr a = prev_;
+    bool have_a = have_prev_;
+    Addr b = line;
+    for (std::uint32_t k = 0; k < degree_; ++k) {
+        Addr next = 0;
+        bool found = false;
+        if (have_a) {
+            auto it = pair_next_.find(pair_key(a, b));
+            if (it != pair_next_.end()) {
+                next = it->second;
+                found = true;
+            }
+        }
+        if (!found) {
+            auto it = single_next_.find(b);
+            if (it != single_next_.end()) {
+                next = it->second;
+                found = true;
+            }
+        }
+        if (!found)
+            break;
+        out.push_back(next);
+        a = b;
+        have_a = true;
+        b = next;
+    }
+
+    have_prev2_ = have_prev_;
+    prev2_ = prev_;
+    have_prev_ = true;
+    prev_ = line;
+    return out;
+}
+
+std::uint64_t
+Domino::storage_bytes() const
+{
+    // Pair table: 8 B key + 8 B next; single table likewise.
+    return pair_next_.size() * 16 + single_next_.size() * 16;
+}
+
+}  // namespace voyager::prefetch

@@ -1,0 +1,60 @@
+#include "prefetch/hybrid.hpp"
+
+#include <stdexcept>
+
+#include "prefetch/best_offset.hpp"
+#include "prefetch/isb.hpp"
+
+namespace voyager::prefetch {
+
+Hybrid::Hybrid(std::string name,
+               std::vector<std::unique_ptr<Prefetcher>> parts,
+               std::vector<std::uint32_t> degrees)
+    : name_(std::move(name)), parts_(std::move(parts)),
+      degrees_(std::move(degrees))
+{
+    if (parts_.size() != degrees_.size() || parts_.empty())
+        throw std::invalid_argument("hybrid: parts/degrees mismatch");
+}
+
+std::vector<Addr>
+Hybrid::on_access(const sim::LlcAccess &access)
+{
+    std::vector<Addr> out;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+        // Train every component; take candidates up to its share.
+        auto cands = parts_[i]->on_access(access);
+        for (std::size_t k = 0; k < cands.size() && k < degrees_[i]; ++k)
+            out.push_back(cands[k]);
+    }
+    return out;
+}
+
+std::uint64_t
+Hybrid::storage_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : parts_)
+        total += p->storage_bytes();
+    return total;
+}
+
+std::unique_ptr<Prefetcher>
+make_isb_bo_hybrid(std::uint32_t total_degree)
+{
+    // Equal split; degree 1 falls back to ISB alone (paper Fig. 9).
+    const std::uint32_t isb_share =
+        total_degree <= 1 ? total_degree : total_degree / 2;
+    const std::uint32_t bo_share =
+        total_degree <= 1 ? 0 : total_degree - isb_share;
+    std::vector<std::unique_ptr<Prefetcher>> parts;
+    parts.push_back(std::make_unique<Isb>(isb_share == 0 ? 1 : isb_share));
+    BestOffsetConfig bo_cfg;
+    bo_cfg.degree = bo_share == 0 ? 1 : bo_share;
+    parts.push_back(std::make_unique<BestOffset>(bo_cfg));
+    return std::make_unique<Hybrid>(
+        "isb+bo", std::move(parts),
+        std::vector<std::uint32_t>{isb_share, bo_share});
+}
+
+}  // namespace voyager::prefetch

@@ -1,0 +1,85 @@
+#include "prefetch/isb.hpp"
+
+namespace voyager::prefetch {
+
+Isb::Isb(std::uint32_t degree, std::uint32_t stream_chunk)
+    : degree_(degree), chunk_(stream_chunk)
+{
+}
+
+void
+Isb::map_structural(Addr line, std::uint64_t s)
+{
+    auto old = phys_to_struct_.find(line);
+    if (old != phys_to_struct_.end())
+        struct_to_phys_.erase(old->second);
+    phys_to_struct_[line] = s;
+    struct_to_phys_[s] = line;
+}
+
+std::vector<Addr>
+Isb::on_access(const sim::LlcAccess &access)
+{
+    const Addr line = access.line;
+
+    // --- Training: extend the PC-localized stream A -> B. ---
+    auto last_it = last_by_pc_.find(access.pc);
+    if (last_it != last_by_pc_.end() && last_it->second != line) {
+        const Addr prev = last_it->second;
+        auto ps = phys_to_struct_.find(prev);
+        std::uint64_t s_prev;
+        if (ps == phys_to_struct_.end()) {
+            // The trigger has no structural home yet: open a stream.
+            s_prev = next_stream_base_;
+            next_stream_base_ += chunk_;
+            map_structural(prev, s_prev);
+        } else {
+            s_prev = ps->second;
+        }
+        const std::uint64_t desired = s_prev + 1;
+        auto cur = phys_to_struct_.find(line);
+        if (cur == phys_to_struct_.end()) {
+            // B is unmapped: append it to A's stream if the slot is
+            // free (and not a chunk boundary), else open a new stream.
+            if (desired % chunk_ != 0 &&
+                !struct_to_phys_.count(desired)) {
+                map_structural(line, desired);
+            } else {
+                map_structural(line, next_stream_base_);
+                next_stream_base_ += chunk_;
+            }
+        }
+        // B already mapped: keep its first-learned home. Remapping on
+        // every divergent pair would tear streams apart on loop
+        // back-edges (e.g. ...,C,A,B,C,A,... would unmap A each lap).
+    }
+    last_by_pc_[access.pc] = line;
+
+    // --- Prediction: walk the structural space from B. ---
+    std::vector<Addr> out;
+    auto cur = phys_to_struct_.find(line);
+    if (cur != phys_to_struct_.end()) {
+        const std::uint64_t s = cur->second;
+        for (std::uint32_t k = 1; k <= degree_; ++k) {
+            // Stay within this stream's chunk.
+            if ((s + k) / chunk_ != s / chunk_)
+                break;
+            auto sp = struct_to_phys_.find(s + k);
+            if (sp == struct_to_phys_.end())
+                break;
+            out.push_back(sp->second);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+Isb::storage_bytes() const
+{
+    // Bidirectional mapping entries (8 B each side + 4 B tag overhead)
+    // plus the per-PC training units.
+    return phys_to_struct_.size() * 12 + struct_to_phys_.size() * 12 +
+           last_by_pc_.size() * 16;
+}
+
+}  // namespace voyager::prefetch

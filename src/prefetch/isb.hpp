@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ISB (Irregular Stream Buffer, Jain & Lin, MICRO 2013): PC-localized
+ * temporal prefetching through a structural address space. Consecutive
+ * addresses in a PC-localized stream are mapped to consecutive
+ * *structural* addresses; prediction walks the structural space, which
+ * linearizes irregular streams (paper Eq. 3). Idealized: unbounded
+ * physical<->structural mappings, zero-latency lookup.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+
+namespace voyager::prefetch {
+
+using sim::Prefetcher;
+using voyager::Addr;
+
+/** Idealized ISB. */
+class Isb final : public Prefetcher
+{
+  public:
+    /**
+     * @param degree prefetches per trigger
+     * @param stream_chunk structural addresses reserved per new stream
+     */
+    explicit Isb(std::uint32_t degree = 1, std::uint32_t stream_chunk = 256);
+
+    std::string name() const override { return "isb"; }
+    std::vector<Addr> on_access(const sim::LlcAccess &access) override;
+    std::uint64_t storage_bytes() const override;
+
+    /** Number of allocated structural streams (for tests/diagnostics). */
+    std::uint64_t num_streams() const { return next_stream_base_ / chunk_; }
+
+  private:
+    /** Map B to structural address s, undoing any previous mapping. */
+    void map_structural(Addr line, std::uint64_t s);
+
+    std::uint32_t degree_;
+    std::uint32_t chunk_;
+    std::uint64_t next_stream_base_ = 0;
+
+    std::unordered_map<Addr, Addr> last_by_pc_;          ///< training units
+    std::unordered_map<Addr, std::uint64_t> phys_to_struct_;
+    std::unordered_map<std::uint64_t, Addr> struct_to_phys_;
+};
+
+}  // namespace voyager::prefetch

@@ -1,0 +1,80 @@
+#include "prefetch/registry.hpp"
+
+#include <stdexcept>
+
+#include "prefetch/best_offset.hpp"
+#include "prefetch/domino.hpp"
+#include "prefetch/hybrid.hpp"
+#include "prefetch/isb.hpp"
+#include "prefetch/sms.hpp"
+#include "prefetch/stms.hpp"
+#include "prefetch/stride.hpp"
+
+namespace voyager::prefetch {
+
+std::unique_ptr<sim::Prefetcher>
+make_prefetcher(const std::string &name, std::uint32_t degree)
+{
+    if (name == "none")
+        return std::make_unique<sim::NullPrefetcher>();
+    if (name == "stms")
+        return std::make_unique<Stms>(degree);
+    if (name == "isb")
+        return std::make_unique<Isb>(degree);
+    if (name == "domino")
+        return std::make_unique<Domino>(degree);
+    if (name == "bo") {
+        BestOffsetConfig cfg;
+        cfg.degree = degree;
+        return std::make_unique<BestOffset>(cfg);
+    }
+    if (name == "ip_stride")
+        return std::make_unique<IpStride>(degree);
+    if (name == "next_line")
+        return std::make_unique<NextLine>(degree);
+    if (name == "sms") {
+        SmsConfig cfg;
+        cfg.degree = degree;
+        return std::make_unique<Sms>(cfg);
+    }
+    if (name == "isb+bo")
+        return make_isb_bo_hybrid(degree);
+    throw std::invalid_argument("unknown prefetcher: " + name);
+}
+
+const std::vector<std::string> &
+rule_based_names()
+{
+    static const std::vector<std::string> names = {
+        "stms", "isb", "domino", "bo", "sms", "ip_stride", "next_line",
+        "isb+bo",
+    };
+    return names;
+}
+
+std::vector<std::vector<voyager::Addr>>
+oracle_predictions(const std::vector<sim::LlcAccess> &stream,
+                   std::uint32_t degree)
+{
+    std::vector<std::vector<voyager::Addr>> preds(stream.size());
+    // Collect future load lines with a backward sweep.
+    std::vector<voyager::Addr> next_loads;
+    std::vector<std::size_t> next_load_idx(stream.size(),
+                                           stream.size());
+    std::size_t next = stream.size();
+    for (std::size_t i = stream.size(); i-- > 0;) {
+        next_load_idx[i] = next;
+        if (stream[i].is_load)
+            next = i;
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        std::size_t j = next_load_idx[i];
+        for (std::uint32_t k = 0; k < degree && j < stream.size();
+             ++k, j = next_load_idx[j]) {
+            preds[i].push_back(stream[j].line);
+        }
+    }
+    return preds;
+}
+
+}  // namespace voyager::prefetch

@@ -1,0 +1,37 @@
+#include "prefetch/stms.hpp"
+
+namespace voyager::prefetch {
+
+Stms::Stms(std::uint32_t degree) : degree_(degree) {}
+
+std::vector<Addr>
+Stms::on_access(const sim::LlcAccess &access)
+{
+    std::vector<Addr> out;
+    const Addr line = access.line;
+    auto it = index_.find(line);
+    if (it != index_.end()) {
+        // Predict the lines that followed the previous occurrence in
+        // the global history buffer.
+        const std::uint64_t pos = it->second;
+        for (std::uint32_t k = 1; k <= degree_; ++k) {
+            const std::uint64_t p = pos + k;
+            if (p >= history_.size())
+                break;
+            out.push_back(history_[p]);
+        }
+    }
+    index_[line] = history_.size();
+    history_.push_back(line);
+    return out;
+}
+
+std::uint64_t
+Stms::storage_bytes() const
+{
+    // History buffer entries (8 B line address) + index table entries
+    // (8 B key + 8 B position). A real STMS keeps this off-chip.
+    return history_.size() * 8 + index_.size() * 16;
+}
+
+}  // namespace voyager::prefetch

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * STMS (Sampled Temporal Memory Streaming, Wenisch et al., HPCA 2009):
+ * global-stream temporal prefetching. Learns
+ * P(Addr_{t+1} | Addr_t) over the global LLC access stream via a
+ * history buffer plus an index table (paper Eq. 2). Idealized:
+ * unbounded metadata, zero-latency lookup.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/prefetcher.hpp"
+
+namespace voyager::prefetch {
+
+using sim::Prefetcher;
+using voyager::Addr;
+
+/** Idealized STMS. */
+class Stms final : public Prefetcher
+{
+  public:
+    explicit Stms(std::uint32_t degree = 1);
+
+    std::string name() const override { return "stms"; }
+    std::vector<Addr> on_access(const sim::LlcAccess &access) override;
+    std::uint64_t storage_bytes() const override;
+
+  private:
+    std::uint32_t degree_;
+    std::vector<Addr> history_;                       ///< global GHB
+    std::unordered_map<Addr, std::uint64_t> index_;   ///< line -> last pos
+};
+
+}  // namespace voyager::prefetch

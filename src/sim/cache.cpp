@@ -1,0 +1,133 @@
+#include "sim/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace voyager::sim {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.assoc == 0 || cfg_.size_bytes % (kLineSize * cfg_.assoc) != 0)
+        throw std::invalid_argument("cache: bad geometry for " + cfg_.name);
+    num_sets_ = cfg_.num_sets();
+    if (num_sets_ == 0)
+        throw std::invalid_argument("cache: zero sets in " + cfg_.name);
+    blocks_.resize(num_sets_ * cfg_.assoc);
+}
+
+bool
+Cache::access(Addr line)
+{
+    ++stats_.accesses;
+    Block *set = &blocks_[set_index(line) * cfg_.assoc];
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Block &b = set[w];
+        if (b.valid && b.line == line) {
+            ++stats_.hits;
+            b.lru = ++lru_clock_;
+            b.rrpv = 0;  // SRRIP: near-immediate re-reference on hit
+            if (b.prefetched) {
+                b.prefetched = false;
+                ++stats_.useful_prefetches;
+            }
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+Cache::Block *
+Cache::pick_victim(Block *set)
+{
+    // Empty ways always win.
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (!set[w].valid)
+            return &set[w];
+
+    switch (cfg_.policy) {
+      case ReplacementPolicy::Lru: {
+        Block *victim = set;
+        for (std::uint32_t w = 1; w < cfg_.assoc; ++w)
+            if (set[w].lru < victim->lru)
+                victim = &set[w];
+        return victim;
+      }
+      case ReplacementPolicy::Srrip: {
+        // Find a distant (rrpv==3) block, aging the set until one
+        // exists.
+        while (true) {
+            for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+                if (set[w].rrpv >= 3)
+                    return &set[w];
+            for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+                ++set[w].rrpv;
+        }
+      }
+      case ReplacementPolicy::Random: {
+        // xorshift; any way can be the victim.
+        rand_state_ ^= rand_state_ << 13;
+        rand_state_ ^= rand_state_ >> 7;
+        rand_state_ ^= rand_state_ << 17;
+        return &set[rand_state_ % cfg_.assoc];
+      }
+    }
+    return set;
+}
+
+Addr
+Cache::fill(Addr line, bool prefetched)
+{
+    Block *set = &blocks_[set_index(line) * cfg_.assoc];
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Block &b = set[w];
+        if (b.valid && b.line == line) {
+            // Already present (e.g. prefetch raced a demand fill);
+            // refresh recency but do not double-install.
+            b.lru = ++lru_clock_;
+            return kNoEviction;
+        }
+    }
+    Block *victim = pick_victim(set);
+    assert(victim != nullptr);
+    Addr evicted = kNoEviction;
+    if (victim->valid) {
+        evicted = victim->line;
+        if (victim->prefetched)
+            ++stats_.evicted_unused_prefetches;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->prefetched = prefetched;
+    victim->lru = ++lru_clock_;
+    victim->rrpv = 2;  // SRRIP long re-reference insertion
+    if (prefetched)
+        ++stats_.prefetch_fills;
+    return evicted;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    const Block *set = &blocks_[set_index(line) * cfg_.assoc];
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (set[w].valid && set[w].line == line)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr line)
+{
+    Block *set = &blocks_[set_index(line) * cfg_.assoc];
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].valid = false;
+            set[w].prefetched = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace voyager::sim

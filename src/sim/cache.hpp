@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and per-block
+ * prefetch bits, used for all three levels of the hierarchy.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace voyager::sim {
+
+/** Replacement policy of a cache level. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru = 0,     ///< true LRU (the CRC2/ChampSim default)
+    Srrip = 1,   ///< 2-bit static RRIP (Jaleel et al., ISCA 2010)
+    Random = 2,  ///< pseudo-random victim
+};
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 64 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t latency = 3;  ///< access latency in cycles
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+
+    std::uint64_t num_sets() const
+    {
+        return size_bytes / (kLineSize * assoc);
+    }
+};
+
+/** Aggregate counters for one cache level. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t prefetch_fills = 0;
+    std::uint64_t useful_prefetches = 0;      ///< demand hit on pf block
+    std::uint64_t evicted_unused_prefetches = 0;
+
+    double
+    miss_rate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * A set-associative cache over line addresses with true-LRU
+ * replacement. Tracks per-block prefetch bits so the hierarchy can
+ * compute prefetch accuracy (useful vs. evicted-unused).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    const CacheConfig &config() const { return cfg_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Demand access to a line. On a hit to a prefetched block the
+     * prefetch bit is consumed and counted useful.
+     * @return true on hit.
+     */
+    bool access(Addr line);
+
+    /**
+     * Install a line (demand fill or prefetch fill). Evicts LRU.
+     * @param prefetched marks the block as brought in by a prefetch.
+     * @return the evicted line address, or kNoEviction.
+     */
+    Addr fill(Addr line, bool prefetched);
+
+    /** Probe without updating LRU or stats. */
+    bool contains(Addr line) const;
+
+    /** Invalidate a line if present. @return true if it was present. */
+    bool invalidate(Addr line);
+
+    /** Sentinel returned by fill() when no block was evicted. */
+    static constexpr Addr kNoEviction = ~0ull;
+
+  private:
+    struct Block
+    {
+        Addr line = 0;
+        bool valid = false;
+        bool prefetched = false;
+        std::uint64_t lru = 0;   ///< larger = more recently used
+        std::uint8_t rrpv = 3;   ///< re-reference prediction value
+    };
+
+    std::size_t set_index(Addr line) const
+    {
+        return static_cast<std::size_t>(line % num_sets_);
+    }
+
+    Block *pick_victim(Block *set);
+
+    CacheConfig cfg_;
+    std::size_t num_sets_;
+    std::vector<Block> blocks_;  // sets * assoc, row-major by set
+    std::uint64_t lru_clock_ = 0;
+    std::uint64_t rand_state_ = 0x9e3779b97f4a7c15ull;
+    CacheStats stats_;
+};
+
+}  // namespace voyager::sim

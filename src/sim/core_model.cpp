@@ -1,0 +1,74 @@
+#include "sim/core_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace voyager::sim {
+
+CoreResult
+OoOCore::run(const trace::Trace &trace, MemoryHierarchy &mem) const
+{
+    CoreResult res;
+    res.instructions = trace.instructions();
+    if (res.instructions == 0)
+        return res;
+
+    // retire_time[i % rob] = cycle instruction i retired; instruction
+    // i+rob_size may not issue before it.
+    std::vector<Cycle> retire_time(cfg_.rob_size, 0);
+    Cycle fetch_cycle = cfg_.pipeline_depth;
+    std::uint32_t fetched_this_cycle = 0;
+    Cycle last_retire = 0;
+    std::uint32_t retired_at_last = 0;
+
+    std::size_t next_access = 0;
+    const auto &accesses = trace.accesses();
+
+    for (std::uint64_t i = 0; i < res.instructions; ++i) {
+        // Fetch-width constraint.
+        if (fetched_this_cycle >= cfg_.width) {
+            ++fetch_cycle;
+            fetched_this_cycle = 0;
+        }
+        // ROB-occupancy constraint.
+        const Cycle oldest = retire_time[i % cfg_.rob_size];
+        if (oldest > fetch_cycle) {
+            fetch_cycle = oldest;
+            fetched_this_cycle = 0;
+        }
+        ++fetched_this_cycle;
+
+        // Execute.
+        std::uint32_t latency = 1;
+        if (next_access < accesses.size() &&
+            accesses[next_access].instr_id == i) {
+            const auto &a = accesses[next_access];
+            ++next_access;
+            const std::uint32_t mem_lat = mem.access(a, fetch_cycle);
+            // Stores retire without waiting for the fill.
+            latency = a.is_load ? mem_lat : 1;
+        }
+        const Cycle complete = fetch_cycle + latency;
+
+        // In-order retirement at the retire width.
+        Cycle retire = std::max(complete, last_retire);
+        if (retire == last_retire) {
+            if (++retired_at_last > cfg_.width) {
+                ++retire;
+                retired_at_last = 1;
+            }
+        } else {
+            retired_at_last = 1;
+        }
+        last_retire = retire;
+        retire_time[i % cfg_.rob_size] = retire;
+    }
+
+    res.cycles = last_retire;
+    res.ipc = res.cycles ? static_cast<double>(res.instructions) /
+                               static_cast<double>(res.cycles)
+                         : 0.0;
+    return res;
+}
+
+}  // namespace voyager::sim

@@ -1,0 +1,58 @@
+#include "sim/dram.hpp"
+
+#include <algorithm>
+
+namespace voyager::sim {
+
+Dram::Dram(const DramConfig &cfg)
+    : cfg_(cfg),
+      banks_(static_cast<std::size_t>(cfg.channels) * cfg.ranks * cfg.banks),
+      bus_free_(cfg.channels, 0)
+{
+}
+
+std::uint32_t
+Dram::access(Addr line, Cycle now)
+{
+    // Address mapping row:rank:bank:column:channel — adjacent lines
+    // spread across channels, then walk a row's columns, so spatial
+    // streams enjoy row-buffer hits while banks still interleave.
+    const std::uint32_t channel = line % cfg_.channels;
+    std::uint64_t rest = line / cfg_.channels;
+    rest /= cfg_.columns;  // column index (not needed for timing)
+    const std::uint32_t bank = rest % cfg_.banks;
+    rest /= cfg_.banks;
+    const std::uint32_t rank = rest % cfg_.ranks;
+    rest /= cfg_.ranks;
+    const std::uint32_t row = rest % cfg_.rows;
+
+    Bank &b = banks_[(static_cast<std::size_t>(channel) * cfg_.ranks +
+                      rank) * cfg_.banks + bank];
+
+    const Cycle start = std::max(now, b.busy_until);
+    std::uint32_t prep_cycles = 0;
+    if (b.open_row == row) {
+        ++stats_.row_hits;
+    } else {
+        ++stats_.row_misses;
+        prep_cycles = cfg_.t_rp + cfg_.t_rcd;
+        b.open_row = row;
+    }
+    Cycle data_ready = start + prep_cycles + cfg_.t_cas;
+    // Serialize the burst on the channel data bus.
+    Cycle &bus = bus_free_[channel];
+    const Cycle burst_start = std::max(data_ready, bus);
+    bus = burst_start + cfg_.burst_cycles;
+    data_ready = burst_start + cfg_.burst_cycles;
+    // Column accesses pipeline: the bank is busy for the activation
+    // plus one burst slot, not the full CAS latency, so row-hit
+    // streams drain at burst rate.
+    b.busy_until = start + prep_cycles + cfg_.burst_cycles;
+
+    ++stats_.requests;
+    const auto latency = static_cast<std::uint32_t>(data_ready - now);
+    stats_.total_latency += latency;
+    return latency;
+}
+
+}  // namespace voyager::sim

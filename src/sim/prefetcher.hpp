@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The prefetcher interface. Prefetchers sit at the last-level cache,
+ * exactly as in the paper's methodology: their inputs are LLC accesses
+ * and their prefetches fill the LLC.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace voyager::sim {
+
+/** One demand access observed at the LLC. */
+struct LlcAccess
+{
+    std::uint64_t index = 0;     ///< position in the LLC access stream
+    std::uint64_t instr_id = 0;
+    Addr pc = 0;
+    Addr line = 0;               ///< cache-line address
+    bool is_load = true;
+    bool hit = false;            ///< LLC hit (filled in by hierarchy)
+};
+
+/**
+ * Base class for all prefetchers.
+ *
+ * on_access() is called for every demand LLC access; the returned line
+ * addresses are prefetched into the LLC (deduplicated against the
+ * cache contents by the hierarchy). Implementations decide how many
+ * candidates to return based on their configured degree.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Display name, e.g. "isb" or "voyager". */
+    virtual std::string name() const = 0;
+
+    /** Observe a demand access; return prefetch candidate lines. */
+    virtual std::vector<Addr> on_access(const LlcAccess &access) = 0;
+
+    /**
+     * Metadata footprint in bytes (for the paper's storage-overhead
+     * comparison). Idealized prefetchers still account what a real
+     * implementation would store.
+     */
+    virtual std::uint64_t storage_bytes() const { return 0; }
+};
+
+/** A prefetcher that never prefetches (the no-prefetch baseline). */
+class NullPrefetcher final : public Prefetcher
+{
+  public:
+    std::string name() const override { return "none"; }
+    std::vector<Addr>
+    on_access(const LlcAccess &) override
+    {
+        return {};
+    }
+};
+
+}  // namespace voyager::sim

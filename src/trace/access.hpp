@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The memory-access record that flows from the workload generators into
+ * the simulator and the prefetchers. Mirrors what a ChampSim trace
+ * provides: instruction id, PC, effective address, load/store kind.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace voyager::trace {
+
+/** One dynamic memory instruction. */
+struct MemoryAccess
+{
+    /** Retire index of this instruction in the dynamic stream. */
+    std::uint64_t instr_id = 0;
+    /** Program counter of the memory instruction. */
+    Addr pc = 0;
+    /** Effective byte address. */
+    Addr addr = 0;
+    /** True for loads, false for stores. */
+    bool is_load = true;
+
+    /** Cache-line address of the access. */
+    Addr line() const { return line_addr(addr); }
+    /** Page number of the access. */
+    Addr page() const { return page_of(addr); }
+    /** Line offset within the page, in [0, 64). */
+    std::uint64_t offset() const { return offset_of(addr); }
+
+    bool operator==(const MemoryAccess &) const = default;
+};
+
+}  // namespace voyager::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * GAP benchmark kernels (bfs, pr, cc) implemented for real over
+ * synthetic graphs and instrumented to emit memory-access traces.
+ *
+ * These are the actual algorithms — PageRank is the Fig. 13 code with
+ * one PC per source line — so the trace has the genuine temporal /
+ * spatial structure the paper evaluates: sequential property walks,
+ * data-dependent in-neighbor gathers, and per-iteration repetition
+ * that temporal prefetchers can learn.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "trace/gen/graph.hpp"
+#include "trace/trace.hpp"
+
+namespace voyager::trace::gen {
+
+/** Common parameters for the GAP kernel generators. */
+struct GapParams
+{
+    NodeId num_nodes = 1u << 14;
+    double avg_degree = 12.0;
+    double skew = 0.7;              ///< power-law exponent of targets
+    std::uint64_t max_accesses = 60000;
+    std::uint64_t seed = 1;
+    int compute_gap = 2;            ///< non-memory instrs between accesses
+};
+
+/** PageRank (Fig. 13 of the paper), pull-style, repeated iterations. */
+Trace make_pagerank_trace(const GapParams &p);
+
+/** Top-down BFS from rotating sources until the budget is filled. */
+Trace make_bfs_trace(const GapParams &p);
+
+/** Connected components via label propagation. */
+Trace make_cc_trace(const GapParams &p);
+
+}  // namespace voyager::trace::gen

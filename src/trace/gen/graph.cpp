@@ -1,0 +1,82 @@
+#include "trace/gen/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace voyager::trace::gen {
+
+Graph::Graph(NodeId num_nodes,
+             std::vector<std::pair<NodeId, NodeId>> edges)
+    : num_nodes_(num_nodes)
+{
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    out_offsets_.assign(num_nodes_ + 1, 0);
+    in_offsets_.assign(num_nodes_ + 1, 0);
+    for (const auto &[u, v] : edges) {
+        assert(u < num_nodes_ && v < num_nodes_);
+        ++out_offsets_[u + 1];
+        ++in_offsets_[v + 1];
+    }
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+        out_offsets_[n + 1] += out_offsets_[n];
+        in_offsets_[n + 1] += in_offsets_[n];
+    }
+    out_neigh_.resize(edges.size());
+    in_neigh_.resize(edges.size());
+    std::vector<std::uint32_t> out_pos(out_offsets_.begin(),
+                                       out_offsets_.end() - 1);
+    std::vector<std::uint32_t> in_pos(in_offsets_.begin(),
+                                      in_offsets_.end() - 1);
+    for (const auto &[u, v] : edges) {
+        out_neigh_[out_pos[u]++] = v;
+        in_neigh_[in_pos[v]++] = u;
+    }
+}
+
+Graph
+make_uniform_graph(NodeId num_nodes, double avg_degree, Rng &rng)
+{
+    assert(num_nodes > 1);
+    const auto num_edges = static_cast<std::uint64_t>(
+        avg_degree * static_cast<double>(num_nodes));
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+        const auto u = static_cast<NodeId>(rng.next_below(num_nodes));
+        auto v = static_cast<NodeId>(rng.next_below(num_nodes));
+        if (u == v)
+            v = (v + 1) % num_nodes;
+        edges.emplace_back(u, v);
+    }
+    return Graph(num_nodes, std::move(edges));
+}
+
+Graph
+make_powerlaw_graph(NodeId num_nodes, double avg_degree, double skew,
+                    Rng &rng)
+{
+    assert(num_nodes > 1);
+    const auto num_edges = static_cast<std::uint64_t>(
+        avg_degree * static_cast<double>(num_nodes));
+    ZipfSampler zipf(num_nodes, skew);
+    // Shuffle node ids so hub nodes are scattered in memory rather than
+    // packed at the front of the property arrays.
+    std::vector<NodeId> perm(num_nodes);
+    for (NodeId i = 0; i < num_nodes; ++i)
+        perm[i] = i;
+    rng.shuffle(perm);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+        const auto u = static_cast<NodeId>(rng.next_below(num_nodes));
+        auto v = perm[zipf.sample(rng)];
+        if (u == v)
+            v = (v + 1) % num_nodes;
+        edges.emplace_back(u, v);
+    }
+    return Graph(num_nodes, std::move(edges));
+}
+
+}  // namespace voyager::trace::gen

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CSR graph container and synthetic graph builders used by the GAP
+ * kernel generators (bfs, pr, cc). The paper uses GAP input graphs of
+ * 2^17 nodes; we synthesize uniform and power-law graphs of a
+ * configurable size.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace voyager::trace::gen {
+
+using NodeId = std::uint32_t;
+
+/** Immutable directed graph in CSR form with both directions. */
+class Graph
+{
+  public:
+    /** Build from an edge list (duplicates removed, self-loops kept out). */
+    Graph(NodeId num_nodes,
+          std::vector<std::pair<NodeId, NodeId>> edges);
+
+    NodeId num_nodes() const { return num_nodes_; }
+    std::uint64_t num_edges() const { return out_neigh_.size(); }
+
+    std::uint32_t
+    out_degree(NodeId n) const
+    {
+        return out_offsets_[n + 1] - out_offsets_[n];
+    }
+
+    std::uint32_t
+    in_degree(NodeId n) const
+    {
+        return in_offsets_[n + 1] - in_offsets_[n];
+    }
+
+    /** CSR arrays; exposed so kernels can emit the exact loads. */
+    const std::vector<std::uint32_t> &out_offsets() const
+    {
+        return out_offsets_;
+    }
+    const std::vector<NodeId> &out_neigh() const { return out_neigh_; }
+    const std::vector<std::uint32_t> &in_offsets() const
+    {
+        return in_offsets_;
+    }
+    const std::vector<NodeId> &in_neigh() const { return in_neigh_; }
+
+  private:
+    NodeId num_nodes_;
+    std::vector<std::uint32_t> out_offsets_;
+    std::vector<NodeId> out_neigh_;
+    std::vector<std::uint32_t> in_offsets_;
+    std::vector<NodeId> in_neigh_;
+};
+
+/** Uniform random digraph with the given average out-degree. */
+Graph make_uniform_graph(NodeId num_nodes, double avg_degree, Rng &rng);
+
+/**
+ * Power-law digraph: target nodes drawn Zipf(s) so a few hubs attract
+ * most edges, approximating Kronecker/web graph degree skew.
+ */
+Graph make_powerlaw_graph(NodeId num_nodes, double avg_degree, double skew,
+                          Rng &rng);
+
+}  // namespace voyager::trace::gen

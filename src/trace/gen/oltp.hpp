@@ -1,0 +1,43 @@
+/**
+ * @file
+ * OLTP-style generators standing in for Google's `search` and `ads`
+ * production traces (which we cannot obtain; see DESIGN.md §4).
+ *
+ * The published characteristics we reproduce: thousands of distinct
+ * PCs (search ~6.7K, ads ~21K in Table 2), ~1M unique addresses,
+ * many interleaved request contexts (destroying single-PC temporal
+ * predictability), Zipf-skewed key popularity, pointer-heavy index
+ * descents, and per-request arena allocation (compulsory misses).
+ * Like the paper's traces these contain memory instructions only, so
+ * they are evaluated with the unified accuracy/coverage metric rather
+ * than IPC.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace voyager::trace::gen {
+
+/** Knobs for the OLTP generators. */
+struct OltpParams
+{
+    std::uint64_t max_accesses = 60000;
+    std::uint64_t seed = 1;
+    /** Number of concurrently interleaved requests. */
+    int concurrency = 8;
+    /** Distinct request-handler code paths (drives the PC count). */
+    int handler_variants = 64;
+    /** Zipf exponent of key popularity. */
+    double key_skew = 0.9;
+    double footprint_scale = 1.0;
+};
+
+/** Search-like: posting-list lookups + scoring over an inverted index. */
+Trace make_search_trace(const OltpParams &p);
+
+/** Ads-like: deeper feature joins, more handler variants (more PCs). */
+Trace make_ads_trace(const OltpParams &p);
+
+}  // namespace voyager::trace::gen

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * TraceRecorder: the instrumentation hook the workload generators use
+ * to emit memory accesses. It tracks the dynamic instruction id and
+ * lets kernels interleave "compute" (non-memory) instructions, which
+ * the core model later charges as single-cycle ops.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace voyager::trace {
+
+/** Helpers for laying out synthetic code and data address spaces. */
+namespace layout {
+
+/** Base of the synthetic code segment; one "source line" = 4 bytes. */
+inline constexpr Addr kCodeBase = 0x400000;
+
+/**
+ * PC for (basic block, line-in-block). Blocks are 256 bytes apart so a
+ * basic-block id can be recovered as pc >> 8 (see core::Labeler).
+ */
+constexpr Addr
+pc_of(std::uint32_t block, std::uint32_t line)
+{
+    return kCodeBase + (static_cast<Addr>(block) << 8) +
+           static_cast<Addr>(line) * 4;
+}
+
+/** Base virtual address of data structure `id` (1 GiB apart). */
+constexpr Addr
+data_base(std::uint32_t id)
+{
+    return (static_cast<Addr>(id) + 1) << 30;
+}
+
+}  // namespace layout
+
+/** Appends accesses to a Trace while tracking instruction ids. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(Trace &trace) : trace_(trace) {}
+
+    /** Emit a load at `pc` touching `addr`, then advance one instr. */
+    void
+    load(Addr pc, Addr addr)
+    {
+        trace_.append({instr_id_++, pc, addr, true});
+    }
+
+    /** Emit a store at `pc` touching `addr`. */
+    void
+    store(Addr pc, Addr addr)
+    {
+        trace_.append({instr_id_++, pc, addr, false});
+    }
+
+    /** Advance the instruction id by n non-memory instructions. */
+    void
+    compute(std::uint64_t n)
+    {
+        instr_id_ += n;
+        if (instr_id_ > trace_.instructions())
+            trace_.set_instructions(instr_id_);
+    }
+
+    std::uint64_t instr_id() const { return instr_id_; }
+    std::size_t recorded() const { return trace_.size(); }
+
+  private:
+    Trace &trace_;
+    std::uint64_t instr_id_ = 0;
+};
+
+}  // namespace voyager::trace

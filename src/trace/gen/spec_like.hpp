@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SPEC CPU2006-like irregular workload generators.
+ *
+ * The paper evaluates Voyager on astar, mcf, omnetpp, soplex, sphinx
+ * and xalancbmk SimPoint traces. We do not have SPEC inputs, so each
+ * generator reproduces the *memory-access structure* the literature
+ * attributes to that benchmark (see DESIGN.md §4): footprint size,
+ * number of hot PCs, pointer-chasing vs strided mix, and — for mcf —
+ * the growing footprint that produces compulsory misses. soplex
+ * includes the exact branch-dependent upd/ub/lb/vec[leave] pattern of
+ * the paper's Fig. 16.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace voyager::trace::gen {
+
+/** Common knobs for the SPEC-like generators. */
+struct SpecParams
+{
+    std::uint64_t max_accesses = 60000;
+    std::uint64_t seed = 1;
+    /** Footprint scale factor; 1.0 = default working set. */
+    double footprint_scale = 1.0;
+    int compute_gap = 2;
+};
+
+/** mcf: network-simplex arc scans + node pointer chasing; the arena
+ *  grows over time so later phases take compulsory misses. */
+Trace make_mcf_trace(const SpecParams &p);
+
+/** omnetpp: event-heap siftup/siftdown + recycled message pools. */
+Trace make_omnetpp_trace(const SpecParams &p);
+
+/** soplex: sparse-matrix column walks + Fig. 16 upd/ub/lb/vec pattern. */
+Trace make_soplex_trace(const SpecParams &p);
+
+/** astar: grid neighbourhood expansion + open-list heap. */
+Trace make_astar_trace(const SpecParams &p);
+
+/** sphinx: per-frame HMM scoring over active-state lists. */
+Trace make_sphinx_trace(const SpecParams &p);
+
+/** xalancbmk: DOM-tree pointer chasing + string-hash probes. */
+Trace make_xalancbmk_trace(const SpecParams &p);
+
+}  // namespace voyager::trace::gen

@@ -1,0 +1,120 @@
+#include "trace/gen/workloads.hpp"
+
+#include <stdexcept>
+
+#include "trace/gen/gap.hpp"
+#include "trace/gen/oltp.hpp"
+#include "trace/gen/spec_like.hpp"
+
+namespace voyager::trace::gen {
+
+Scale
+parse_scale(const std::string &s)
+{
+    if (s == "tiny")
+        return Scale::Tiny;
+    if (s == "small")
+        return Scale::Small;
+    if (s == "paper")
+        return Scale::Paper;
+    throw std::invalid_argument("unknown scale: " + s);
+}
+
+const std::vector<std::string> &
+spec_gap_benchmarks()
+{
+    static const std::vector<std::string> names = {
+        "astar", "bfs", "cc", "mcf", "omnetpp",
+        "pr", "soplex", "sphinx", "xalancbmk",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+oltp_benchmarks()
+{
+    static const std::vector<std::string> names = {"search", "ads"};
+    return names;
+}
+
+std::vector<std::string>
+all_benchmarks()
+{
+    auto out = spec_gap_benchmarks();
+    for (const auto &n : oltp_benchmarks())
+        out.push_back(n);
+    return out;
+}
+
+std::uint64_t
+scale_accesses(Scale scale)
+{
+    switch (scale) {
+      case Scale::Tiny:
+        return 30000;
+      case Scale::Small:
+        return 160000;
+      case Scale::Paper:
+        return 4000000;
+    }
+    return 160000;
+}
+
+Trace
+make_workload(const std::string &name, Scale scale, std::uint64_t seed)
+{
+    const std::uint64_t budget = scale_accesses(scale);
+    const double fp = scale == Scale::Paper ? 4.0
+                    : scale == Scale::Tiny ? 0.1
+                                           : 0.5;
+
+    if (name == "pr" || name == "bfs" || name == "cc") {
+        // Node counts chosen so a trace covers 2-4 kernel iterations
+        // (temporal prefetchers need the repetition) while the
+        // property arrays exceed the matching LLC size (DESIGN.md §6).
+        GapParams p;
+        p.max_accesses = budget;
+        p.seed = seed;
+        p.avg_degree = 8.0;
+        p.num_nodes = scale == Scale::Paper ? (1u << 17)
+                    : scale == Scale::Tiny ? (1u << 9)
+                                           : (1u << 11);
+        if (name == "pr")
+            return make_pagerank_trace(p);
+        if (name == "bfs")
+            return make_bfs_trace(p);
+        return make_cc_trace(p);
+    }
+
+    if (name == "search" || name == "ads") {
+        OltpParams p;
+        p.max_accesses = budget;
+        p.seed = seed;
+        p.footprint_scale = fp;
+        p.handler_variants = scale == Scale::Paper ? 256
+                           : scale == Scale::Tiny ? 16
+                                                  : 64;
+        return name == "search" ? make_search_trace(p)
+                                : make_ads_trace(p);
+    }
+
+    SpecParams p;
+    p.max_accesses = budget;
+    p.seed = seed;
+    p.footprint_scale = fp;
+    if (name == "mcf")
+        return make_mcf_trace(p);
+    if (name == "omnetpp")
+        return make_omnetpp_trace(p);
+    if (name == "soplex")
+        return make_soplex_trace(p);
+    if (name == "astar")
+        return make_astar_trace(p);
+    if (name == "sphinx")
+        return make_sphinx_trace(p);
+    if (name == "xalancbmk")
+        return make_xalancbmk_trace(p);
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace voyager::trace::gen

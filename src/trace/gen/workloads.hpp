@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload registry: one entry per paper benchmark, with a size scale.
+ * Bench harnesses and examples resolve benchmarks by name through this
+ * registry so every experiment sees identical traces for a given
+ * (name, scale, seed) triple.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace voyager::trace::gen {
+
+/** How large a trace to generate. */
+enum class Scale
+{
+    Tiny,    ///< unit-test scale (a few thousand accesses)
+    Small,   ///< default bench scale for a single-core host
+    Paper,   ///< paper-proportioned footprints and lengths
+};
+
+/** Parse "tiny" / "small" / "paper". @throws on unknown. */
+Scale parse_scale(const std::string &s);
+
+/** Paper benchmark names, in the paper's order. */
+const std::vector<std::string> &spec_gap_benchmarks();
+
+/** search + ads (unified-metric-only workloads). */
+const std::vector<std::string> &oltp_benchmarks();
+
+/** spec_gap + oltp. */
+std::vector<std::string> all_benchmarks();
+
+/**
+ * Generate the named benchmark trace.
+ *
+ * @param name one of astar, bfs, cc, mcf, omnetpp, pr, soplex, sphinx,
+ *             xalancbmk, search, ads
+ * @throws std::invalid_argument for unknown names.
+ */
+Trace make_workload(const std::string &name, Scale scale,
+                    std::uint64_t seed = 1);
+
+/** Max accesses used for a scale (exposed for bench banners). */
+std::uint64_t scale_accesses(Scale scale);
+
+}  // namespace voyager::trace::gen

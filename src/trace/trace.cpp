@@ -1,0 +1,180 @@
+#include "trace/trace.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace voyager::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x564f5954;  // "VOYT"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+write_pod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+read_pod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw std::runtime_error("trace: truncated stream");
+    return v;
+}
+
+}  // namespace
+
+void
+Trace::append(const MemoryAccess &a)
+{
+    assert(accesses_.empty() || a.instr_id >= accesses_.back().instr_id);
+    accesses_.push_back(a);
+    if (a.instr_id + 1 > instructions_)
+        instructions_ = a.instr_id + 1;
+}
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats s;
+    s.accesses = accesses_.size();
+    s.instructions = instructions_;
+    std::unordered_set<Addr> pcs;
+    std::unordered_set<Addr> lines;
+    std::unordered_set<Addr> pages;
+    std::uint64_t loads = 0;
+    for (const auto &a : accesses_) {
+        pcs.insert(a.pc);
+        lines.insert(a.line());
+        pages.insert(a.page());
+        loads += a.is_load ? 1 : 0;
+    }
+    s.unique_pcs = pcs.size();
+    s.unique_lines = lines.size();
+    s.unique_pages = pages.size();
+    s.load_fraction =
+        s.accesses ? static_cast<double>(loads) /
+                         static_cast<double>(s.accesses)
+                   : 0.0;
+    return s;
+}
+
+void
+Trace::truncate(std::size_t n)
+{
+    if (n >= accesses_.size())
+        return;
+    accesses_.resize(n);
+    instructions_ =
+        accesses_.empty() ? 0 : accesses_.back().instr_id + 1;
+}
+
+void
+Trace::save_binary(std::ostream &os) const
+{
+    write_pod(os, kMagic);
+    write_pod(os, kVersion);
+    const auto name_len = static_cast<std::uint32_t>(name_.size());
+    write_pod(os, name_len);
+    os.write(name_.data(), name_len);
+    write_pod(os, instructions_);
+    write_pod(os, static_cast<std::uint64_t>(accesses_.size()));
+    for (const auto &a : accesses_) {
+        write_pod(os, a.instr_id);
+        write_pod(os, a.pc);
+        write_pod(os, a.addr);
+        write_pod(os, static_cast<std::uint8_t>(a.is_load ? 1 : 0));
+    }
+}
+
+Trace
+Trace::load_binary(std::istream &is)
+{
+    if (read_pod<std::uint32_t>(is) != kMagic)
+        throw std::runtime_error("trace: bad magic");
+    if (read_pod<std::uint32_t>(is) != kVersion)
+        throw std::runtime_error("trace: unsupported version");
+    Trace t;
+    const auto name_len = read_pod<std::uint32_t>(is);
+    t.name_.resize(name_len);
+    is.read(t.name_.data(), name_len);
+    t.instructions_ = read_pod<std::uint64_t>(is);
+    const auto n = read_pod<std::uint64_t>(is);
+    t.accesses_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        MemoryAccess a;
+        a.instr_id = read_pod<std::uint64_t>(is);
+        a.pc = read_pod<Addr>(is);
+        a.addr = read_pod<Addr>(is);
+        a.is_load = read_pod<std::uint8_t>(is) != 0;
+        t.accesses_.push_back(a);
+    }
+    return t;
+}
+
+void
+Trace::save_text(std::ostream &os) const
+{
+    os << "# trace " << name_ << " instructions=" << instructions_ << '\n';
+    for (const auto &a : accesses_) {
+        os << a.instr_id << ' ' << a.pc << ' ' << a.addr << ' '
+           << (a.is_load ? 'L' : 'S') << '\n';
+    }
+}
+
+Trace
+Trace::load_text(std::istream &is)
+{
+    Trace t;
+    std::string tok;
+    // Optional header line.
+    while (is >> tok) {
+        if (tok == "#") {
+            std::string rest;
+            std::getline(is, rest);
+            continue;
+        }
+        MemoryAccess a;
+        a.instr_id = std::stoull(tok);
+        std::uint64_t pc = 0;
+        std::uint64_t addr = 0;
+        char kind = 'L';
+        if (!(is >> pc >> addr >> kind))
+            throw std::runtime_error("trace: malformed text record");
+        a.pc = pc;
+        a.addr = addr;
+        a.is_load = kind == 'L';
+        t.append(a);
+    }
+    return t;
+}
+
+void
+Trace::save_binary_file(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("trace: cannot open " + path);
+    save_binary(os);
+}
+
+Trace
+Trace::load_binary_file(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("trace: cannot open " + path);
+    return load_binary(is);
+}
+
+}  // namespace voyager::trace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * In-memory trace container with binary/text serialization and the
+ * footprint statistics reported in the paper's Table 2.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace voyager::trace {
+
+/** Footprint statistics of a trace (paper Table 2). */
+struct TraceStats
+{
+    std::uint64_t accesses = 0;        ///< dynamic memory accesses
+    std::uint64_t instructions = 0;    ///< total dynamic instructions
+    std::uint64_t unique_pcs = 0;
+    std::uint64_t unique_lines = 0;    ///< unique cache-line addresses
+    std::uint64_t unique_pages = 0;
+    double load_fraction = 0.0;
+};
+
+/**
+ * A dynamic memory-access trace plus workload metadata.
+ *
+ * Accesses are ordered by instr_id; instr_id gaps represent non-memory
+ * instructions (the core model charges them as single-cycle ops).
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    void reserve(std::size_t n) { accesses_.reserve(n); }
+    void append(const MemoryAccess &a);
+
+    const std::vector<MemoryAccess> &accesses() const { return accesses_; }
+    std::size_t size() const { return accesses_.size(); }
+    bool empty() const { return accesses_.empty(); }
+    const MemoryAccess &operator[](std::size_t i) const
+    {
+        return accesses_[i];
+    }
+
+    /** Total dynamic instruction count (>= last instr_id + 1). */
+    std::uint64_t instructions() const { return instructions_; }
+    void set_instructions(std::uint64_t n) { instructions_ = n; }
+
+    /** Compute footprint statistics (one pass). */
+    TraceStats stats() const;
+
+    /** Keep only the first n accesses (for scaled runs). */
+    void truncate(std::size_t n);
+
+    /** Serialize to a compact binary stream. */
+    void save_binary(std::ostream &os) const;
+    /** Deserialize from save_binary output. @throws on bad magic. */
+    static Trace load_binary(std::istream &is);
+
+    /** One access per line: instr_id pc addr kind. */
+    void save_text(std::ostream &os) const;
+    static Trace load_text(std::istream &is);
+
+    /** File convenience wrappers. @throws std::runtime_error on I/O. */
+    void save_binary_file(const std::string &path) const;
+    static Trace load_binary_file(const std::string &path);
+
+  private:
+    std::string name_;
+    std::vector<MemoryAccess> accesses_;
+    std::uint64_t instructions_ = 0;
+};
+
+}  // namespace voyager::trace

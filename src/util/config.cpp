@@ -1,0 +1,87 @@
+#include "util/config.hpp"
+
+#include <stdexcept>
+
+namespace voyager {
+
+Config
+Config::from_args(int argc, const char *const *argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw std::invalid_argument("unexpected positional argument: " +
+                                        arg);
+        }
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            cfg.set(arg, "true");
+        else
+            cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::get_string(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::get_int(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::stoll(it->second);
+}
+
+std::uint64_t
+Config::get_uint(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::stoull(it->second);
+}
+
+double
+Config::get_double(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool
+Config::get_bool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+}  // namespace voyager

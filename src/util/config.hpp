@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal typed key/value configuration with command-line parsing.
+ * Bench harnesses and examples accept `--key=value` flags; modules read
+ * their parameters through typed getters with defaults.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace voyager {
+
+/** Typed key/value store parsed from `--key=value` style arguments. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse argv-style flags. Accepts `--key=value` and bare `--flag`
+     * (stored as "true"). Unrecognized positional arguments throw.
+     */
+    static Config from_args(int argc, const char *const *argv);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string get_string(const std::string &key,
+                           const std::string &def = "") const;
+    std::int64_t get_int(const std::string &key, std::int64_t def) const;
+    std::uint64_t get_uint(const std::string &key, std::uint64_t def) const;
+    double get_double(const std::string &key, double def) const;
+    bool get_bool(const std::string &key, bool def) const;
+
+    /** All keys, sorted, for help/debug output. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace voyager

@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace voyager {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
+    std::uint64_t cum = underflow_;
+    if (cum >= target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= target)
+            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    }
+    return hi_;
+}
+
+void
+FreqCounter::add(std::uint64_t key, std::uint64_t weight)
+{
+    counts_[key] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+FreqCounter::count(std::uint64_t key) const
+{
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+FreqCounter::top_k(std::size_t k) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items(
+        counts_.begin(), counts_.end());
+    std::sort(items.begin(), items.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    if (items.size() > k)
+        items.resize(k);
+    return items;
+}
+
+double
+safe_ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+std::string
+pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace voyager

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator, the
+ * trainer and the bench harnesses: running mean/variance, histograms,
+ * and top-k frequency counting.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace voyager {
+
+/** Welford running mean / variance / min / max accumulator. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with out-of-range buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    /** Value at the given cumulative quantile q in [0,1]. */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Frequency counter over 64-bit keys with top-k extraction. Used for
+ * the delta-vocabulary profiling pass and the co-occurrence labeler.
+ */
+class FreqCounter
+{
+  public:
+    void add(std::uint64_t key, std::uint64_t weight = 1);
+
+    std::uint64_t count(std::uint64_t key) const;
+    std::size_t unique() const { return counts_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /** Keys sorted by descending frequency (ties by key). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    top_k(std::size_t k) const;
+
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    raw() const { return counts_; }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Ratio with safe division; returns 0 when denominator is 0. */
+double safe_ratio(double num, double den);
+
+/** Format a fraction in [0,1] as a percentage string like "41.6%". */
+std::string pct(double fraction, int decimals = 1);
+
+}  // namespace voyager

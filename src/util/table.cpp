@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace voyager {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        throw std::invalid_argument("table row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::add_row(const std::string &label, const std::vector<double> &vals,
+               int decimals)
+{
+    std::vector<std::string> row;
+    row.push_back(label);
+    char buf[64];
+    for (double v : vals) {
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+        row.emplace_back(buf);
+    }
+    add_row(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+}  // namespace voyager

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Aligned ASCII table printer. Every bench harness reports its rows and
+ * series through this so the output mirrors the paper's tables/figures
+ * in a stable, diffable textual form.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace voyager {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void add_row(std::vector<std::string> row);
+
+    /** Convenience: row of label + doubles formatted with 'decimals'. */
+    void add_row(const std::string &label, const std::vector<double> &vals,
+                 int decimals = 3);
+
+    /** Render with column padding. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace voyager

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental address types and bit-manipulation helpers shared by every
+ * module. The geometry matches the paper: 64-byte cache lines and 4 KiB
+ * pages, so a line address decomposes into a page number and one of 64
+ * line offsets within the page.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace voyager {
+
+/** A byte address in the simulated 64-bit address space. */
+using Addr = std::uint64_t;
+
+/** A cycle count. */
+using Cycle = std::uint64_t;
+
+inline constexpr int kLineBits = 6;                ///< log2(64 B line)
+inline constexpr int kPageBits = 12;               ///< log2(4 KiB page)
+inline constexpr int kOffsetBits = kPageBits - kLineBits;
+inline constexpr std::uint64_t kLineSize = 1ull << kLineBits;
+inline constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+/** Number of cache-line slots in a page (the paper's 64 offsets). */
+inline constexpr std::uint64_t kOffsetsPerPage = 1ull << kOffsetBits;
+
+/** Byte address -> cache-line address (low 6 bits cleared). */
+constexpr Addr line_addr(Addr byte_addr) { return byte_addr >> kLineBits; }
+
+/** Cache-line address -> byte address of the line start. */
+constexpr Addr line_to_byte(Addr line) { return line << kLineBits; }
+
+/** Byte address -> page number. */
+constexpr Addr page_of(Addr byte_addr) { return byte_addr >> kPageBits; }
+
+/** Cache-line address -> page number. */
+constexpr Addr page_of_line(Addr line) { return line >> kOffsetBits; }
+
+/** Byte address -> line offset within its page, in [0, 64). */
+constexpr std::uint64_t offset_of(Addr byte_addr)
+{
+    return (byte_addr >> kLineBits) & (kOffsetsPerPage - 1);
+}
+
+/** Cache-line address -> line offset within its page, in [0, 64). */
+constexpr std::uint64_t offset_of_line(Addr line)
+{
+    return line & (kOffsetsPerPage - 1);
+}
+
+/** Recompose a cache-line address from (page, offset). */
+constexpr Addr make_line(Addr page, std::uint64_t offset)
+{
+    return (page << kOffsetBits) | (offset & (kOffsetsPerPage - 1));
+}
+
+}  // namespace voyager

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model: geometry, LRU
+ * replacement, prefetch-bit accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+
+namespace voyager::sim {
+namespace {
+
+CacheConfig
+tiny(std::uint32_t assoc = 2, std::uint64_t sets = 4)
+{
+    CacheConfig c;
+    c.name = "tiny";
+    c.assoc = assoc;
+    c.size_bytes = kLineSize * assoc * sets;
+    c.latency = 1;
+    return c;
+}
+
+/** Line that maps to `set` in a cache with `sets` sets. */
+Addr
+line_in_set(std::uint64_t set, std::uint64_t tag, std::uint64_t sets = 4)
+{
+    return set + tag * sets;
+}
+
+TEST(Cache, GeometryValidation)
+{
+    CacheConfig c;
+    c.size_bytes = 100;  // not a multiple of line*assoc
+    c.assoc = 3;
+    EXPECT_THROW(Cache cache(c), std::invalid_argument);
+    CacheConfig zero = tiny();
+    zero.assoc = 0;
+    EXPECT_THROW(Cache cache(zero), std::invalid_argument);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(42));
+    c.fill(42, false);
+    EXPECT_TRUE(c.access(42));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tiny(2, 4));
+    const Addr a = line_in_set(0, 1);
+    const Addr b = line_in_set(0, 2);
+    const Addr d = line_in_set(0, 3);
+    c.fill(a, false);
+    c.fill(b, false);
+    c.access(a);  // a is now MRU
+    const Addr evicted = c.fill(d, false);
+    EXPECT_EQ(evicted, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, FillPrefersEmptyWay)
+{
+    Cache c(tiny(4, 1));
+    EXPECT_EQ(c.fill(line_in_set(0, 1, 1), false), Cache::kNoEviction);
+    EXPECT_EQ(c.fill(line_in_set(0, 2, 1), false), Cache::kNoEviction);
+    EXPECT_EQ(c.fill(line_in_set(0, 3, 1), false), Cache::kNoEviction);
+    EXPECT_EQ(c.fill(line_in_set(0, 4, 1), false), Cache::kNoEviction);
+    EXPECT_NE(c.fill(line_in_set(0, 5, 1), false), Cache::kNoEviction);
+}
+
+TEST(Cache, DuplicateFillDoesNotEvict)
+{
+    Cache c(tiny(2, 4));
+    c.fill(7, false);
+    EXPECT_EQ(c.fill(7, true), Cache::kNoEviction);
+    EXPECT_EQ(c.stats().prefetch_fills, 0u);
+}
+
+TEST(Cache, PrefetchHitCountsUsefulOnce)
+{
+    Cache c(tiny());
+    c.fill(10, true);
+    EXPECT_EQ(c.stats().prefetch_fills, 1u);
+    EXPECT_TRUE(c.access(10));
+    EXPECT_EQ(c.stats().useful_prefetches, 1u);
+    EXPECT_TRUE(c.access(10));  // second hit: bit already consumed
+    EXPECT_EQ(c.stats().useful_prefetches, 1u);
+}
+
+TEST(Cache, EvictedUnusedPrefetchCounted)
+{
+    Cache c(tiny(1, 4));  // direct-mapped, 4 sets
+    c.fill(line_in_set(2, 1), true);
+    c.fill(line_in_set(2, 2), false);  // evicts the unused prefetch
+    EXPECT_EQ(c.stats().evicted_unused_prefetches, 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(tiny());
+    c.fill(5, false);
+    EXPECT_TRUE(c.invalidate(5));
+    EXPECT_FALSE(c.contains(5));
+    EXPECT_FALSE(c.invalidate(5));
+}
+
+TEST(Cache, ContainsDoesNotTouchStats)
+{
+    Cache c(tiny());
+    c.fill(1, false);
+    (void)c.contains(1);
+    (void)c.contains(2);
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint64_t>>
+{
+};
+
+TEST_P(CacheGeometry, WorkingSetLargerThanCacheThrashes)
+{
+    const auto [assoc, sets] = GetParam();
+    CacheConfig cfg;
+    cfg.assoc = assoc;
+    cfg.size_bytes = kLineSize * assoc * sets;
+    Cache c(cfg);
+    const std::uint64_t capacity = assoc * sets;
+    // Cyclic sweep over 2x capacity with LRU: every access misses.
+    for (int round = 0; round < 3; ++round) {
+        for (Addr line = 0; line < 2 * capacity; ++line) {
+            if (!c.access(line))
+                c.fill(line, false);
+        }
+    }
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST_P(CacheGeometry, WorkingSetWithinCacheAllHitsAfterWarmup)
+{
+    const auto [assoc, sets] = GetParam();
+    CacheConfig cfg;
+    cfg.assoc = assoc;
+    cfg.size_bytes = kLineSize * assoc * sets;
+    Cache c(cfg);
+    const std::uint64_t capacity = assoc * sets;
+    for (Addr line = 0; line < capacity; ++line)
+        c.fill(line, false);
+    for (int round = 0; round < 2; ++round)
+        for (Addr line = 0; line < capacity; ++line)
+            EXPECT_TRUE(c.access(line));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::pair<std::uint32_t, std::uint64_t>{1, 16},
+                      std::pair<std::uint32_t, std::uint64_t>{2, 8},
+                      std::pair<std::uint32_t, std::uint64_t>{4, 4},
+                      std::pair<std::uint32_t, std::uint64_t>{16, 32}));
+
+}  // namespace
+}  // namespace voyager::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the unified accuracy/coverage metric, covered flags, and
+ * the Fig. 10/11 pattern classifier.
+ */
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "prefetch/stms.hpp"
+
+namespace voyager::core {
+namespace {
+
+LlcAccess
+acc(Addr line, bool load = true, Addr pc = 1)
+{
+    LlcAccess a;
+    a.pc = pc;
+    a.line = line;
+    a.is_load = load;
+    return a;
+}
+
+TEST(UnifiedMetric, StrictNextLoad)
+{
+    const std::vector<LlcAccess> s = {acc(10), acc(20), acc(30)};
+    std::vector<std::vector<Addr>> preds = {{20}, {99}, {}};
+    const auto m = unified_accuracy_coverage(s, preds, 0, /*horizon=*/1);
+    EXPECT_EQ(m.evaluated, 3u);
+    EXPECT_EQ(m.correct, 1u);
+    EXPECT_NEAR(m.value(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(UnifiedMetric, HorizonCreditsNearFuture)
+{
+    const std::vector<LlcAccess> s = {acc(10), acc(20), acc(30),
+                                      acc(40)};
+    std::vector<std::vector<Addr>> preds = {{30}, {}, {}, {}};
+    EXPECT_EQ(unified_accuracy_coverage(s, preds, 0, 1).correct, 0u);
+    EXPECT_EQ(unified_accuracy_coverage(s, preds, 0, 3).correct, 1u);
+}
+
+TEST(UnifiedMetric, StoresNotCredited)
+{
+    const std::vector<LlcAccess> s = {acc(10), acc(20, false), acc(30)};
+    std::vector<std::vector<Addr>> preds = {{20}, {}, {}};
+    EXPECT_EQ(unified_accuracy_coverage(s, preds, 0, 5).correct, 0u);
+}
+
+TEST(UnifiedMetric, FirstIndexSkipsEpochZero)
+{
+    const std::vector<LlcAccess> s = {acc(10), acc(20), acc(30)};
+    std::vector<std::vector<Addr>> preds = {{20}, {30}, {}};
+    const auto m = unified_accuracy_coverage(s, preds, 1, 1);
+    EXPECT_EQ(m.evaluated, 2u);
+    EXPECT_EQ(m.correct, 1u);
+}
+
+TEST(UnifiedMetric, DegreeKAnyMatchCounts)
+{
+    const std::vector<LlcAccess> s = {acc(10), acc(20)};
+    std::vector<std::vector<Addr>> preds = {{5, 6, 20}, {}};
+    EXPECT_EQ(unified_accuracy_coverage(s, preds, 0, 1).correct, 1u);
+}
+
+TEST(CoveredFlags, MarksPredictedWithinHorizon)
+{
+    const std::vector<LlcAccess> s = {acc(10), acc(20), acc(30),
+                                      acc(20)};
+    std::vector<std::vector<Addr>> preds = {{20}, {}, {}, {}};
+    const auto c = covered_flags(s, preds, 0, /*horizon=*/2);
+    EXPECT_FALSE(c[0]);
+    EXPECT_TRUE(c[1]);
+    EXPECT_FALSE(c[2]);
+    EXPECT_FALSE(c[3]);  // 3 - 0 > horizon
+}
+
+TEST(PatternBreakdown, ClassesAreExhaustive)
+{
+    // 10 -> 11 (spatial), 11 -> 5000 (non-spatial, repeated so
+    // co-occurrence), 5000 -> 99999 (compulsory on first occurrence).
+    std::vector<LlcAccess> s;
+    for (int rep = 0; rep < 3; ++rep) {
+        s.push_back(acc(10));
+        s.push_back(acc(11));
+        s.push_back(acc(5000));
+    }
+    s.push_back(acc(99999));
+    const std::vector<std::uint8_t> covered(s.size(), 0);
+    const auto b = classify_patterns(s, covered, 0);
+    EXPECT_EQ(b.total, s.size() - 1);  // first access skipped
+    // First occurrences of 11, 5000 and 99999 are compulsory.
+    EXPECT_EQ(b.uncovered_compulsory, 3u);
+    EXPECT_EQ(b.uncovered_spatial, 2u);
+    EXPECT_EQ(b.uncovered_cooccurrence, 4u);
+    EXPECT_EQ(b.uncovered_other, 0u);
+    EXPECT_EQ(b.covered_spatial + b.covered_non_spatial, 0u);
+    EXPECT_EQ(b.uncovered_compulsory + b.uncovered_spatial +
+                  b.uncovered_cooccurrence + b.uncovered_other +
+                  b.covered_spatial + b.covered_non_spatial,
+              b.total);
+}
+
+TEST(PatternBreakdown, CoveredSplitsBySpatiality)
+{
+    std::vector<LlcAccess> s = {acc(10), acc(11), acc(9000)};
+    std::vector<std::uint8_t> covered = {0, 1, 1};
+    const auto b = classify_patterns(s, covered, 0);
+    EXPECT_EQ(b.covered_spatial, 1u);       // 10 -> 11
+    EXPECT_EQ(b.covered_non_spatial, 1u);   // 11 -> 9000
+}
+
+TEST(PatternBreakdown, FractionsSumToOne)
+{
+    std::vector<LlcAccess> s;
+    for (int i = 0; i < 50; ++i)
+        s.push_back(acc(static_cast<Addr>(i * 300)));
+    const std::vector<std::uint8_t> covered(s.size(), 0);
+    const auto b = classify_patterns(s, covered, 0);
+    const double sum = b.frac(b.covered_spatial) +
+                       b.frac(b.covered_non_spatial) +
+                       b.frac(b.uncovered_spatial) +
+                       b.frac(b.uncovered_cooccurrence) +
+                       b.frac(b.uncovered_other) +
+                       b.frac(b.uncovered_compulsory);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RunOnStream, MatchesDirectCalls)
+{
+    const std::vector<LlcAccess> s = {acc(100), acc(200), acc(100),
+                                      acc(200)};
+    prefetch::Stms a(1);
+    const auto preds = run_prefetcher_on_stream(a, s);
+    ASSERT_EQ(preds.size(), 4u);
+    EXPECT_TRUE(preds[0].empty());
+    // Second visit of 100 predicts 200 (its recorded successor).
+    EXPECT_EQ(preds[2], std::vector<Addr>{200});
+}
+
+}  // namespace
+}  // namespace voyager::core

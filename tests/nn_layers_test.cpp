@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for layers (Embedding, Linear, Dropout, losses, Adam,
+ * quantize/prune, serialize) at the behavioural level.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/adam.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/ops.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+
+namespace voyager::nn {
+namespace {
+
+TEST(Embedding, GathersRows)
+{
+    Rng rng(1);
+    Embedding e(10, 4, rng);
+    Matrix out;
+    e.forward({3, 3, 7}, out);
+    ASSERT_EQ(out.rows(), 3u);
+    ASSERT_EQ(out.cols(), 4u);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(out.at(0, c), out.at(1, c));
+        EXPECT_EQ(out.at(0, c), e.param().value.at(3, c));
+    }
+}
+
+TEST(Embedding, BackwardAccumulatesTouchedRows)
+{
+    Rng rng(2);
+    Embedding e(10, 2, rng);
+    Matrix grad(3, 2, 1.0f);
+    e.backward({3, 3, 7}, grad);
+    EXPECT_EQ(e.param().grad.at(3, 0), 2.0f);  // row 3 hit twice
+    EXPECT_EQ(e.param().grad.at(7, 0), 1.0f);
+    EXPECT_EQ(e.param().grad.at(0, 0), 0.0f);
+    EXPECT_EQ(e.touched().size(), 2u);
+    e.clear_touched();
+    EXPECT_TRUE(e.touched().empty());
+}
+
+TEST(Linear, ForwardMatchesManual)
+{
+    Rng rng(3);
+    Linear l(2, 2, rng);
+    l.weight().value.at(0, 0) = 1.0f;
+    l.weight().value.at(0, 1) = 2.0f;
+    l.weight().value.at(1, 0) = 3.0f;
+    l.weight().value.at(1, 1) = 4.0f;
+    l.bias().value.at(0, 0) = 0.5f;
+    Matrix x(1, 2);
+    x.at(0, 0) = 1.0f;
+    x.at(0, 1) = 2.0f;
+    Matrix y;
+    l.forward(x, y);
+    EXPECT_NEAR(y.at(0, 0), 1 * 1 + 2 * 3 + 0.5f, 1e-5f);
+    EXPECT_NEAR(y.at(0, 1), 1 * 2 + 2 * 4, 1e-5f);
+}
+
+TEST(Dropout, EvalModeIsIdentity)
+{
+    Dropout d(0.5f, 9);
+    d.set_training(false);
+    Matrix x(4, 4, 1.0f);
+    d.forward(x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(x.data()[i], 1.0f);
+}
+
+TEST(Dropout, TrainModePreservesExpectation)
+{
+    Dropout d(0.8f, 10);
+    Matrix x(100, 100, 1.0f);
+    d.forward(x);
+    double sum = 0.0;
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sum += x.data()[i];
+        zeros += x.data()[i] == 0.0f;
+    }
+    EXPECT_NEAR(sum / static_cast<double>(x.size()), 1.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(zeros) / x.size(), 0.2, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask)
+{
+    Dropout d(0.5f, 11);
+    Matrix x(8, 8, 1.0f);
+    d.forward(x);
+    Matrix g(8, 8, 1.0f);
+    d.backward(g);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(g.data()[i], x.data()[i]);
+}
+
+TEST(Loss, SoftmaxCeKnownValue)
+{
+    Matrix logits(1, 3);  // uniform -> loss = log(3)
+    std::vector<std::int32_t> labels = {1};
+    Matrix dl;
+    const double loss = softmax_ce_loss(logits, labels, dl);
+    EXPECT_NEAR(loss, std::log(3.0), 1e-5);
+    EXPECT_NEAR(dl.at(0, 1), 1.0f / 3.0f - 1.0f, 1e-5f);
+    EXPECT_NEAR(dl.at(0, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Loss, SoftmaxCeGradientSumsToZero)
+{
+    Rng rng(12);
+    Matrix logits(4, 7);
+    uniform_init(logits, 2.0f, rng);
+    Matrix dl;
+    softmax_ce_loss(logits, {0, 3, 6, 2}, dl);
+    for (std::size_t r = 0; r < 4; ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < 7; ++c)
+            sum += dl.at(r, c);
+        EXPECT_NEAR(sum, 0.0f, 1e-5f);
+    }
+}
+
+TEST(Loss, BceMultilabelKnownValue)
+{
+    Matrix logits(1, 2);  // zeros: sigmoid = 0.5 everywhere
+    Matrix dl;
+    const double loss = bce_multilabel_loss(logits, {{0}}, dl);
+    // loss = -log(0.5) - log(1-0.5) = 2 log 2.
+    EXPECT_NEAR(loss, 2.0 * std::log(2.0), 1e-5);
+    EXPECT_NEAR(dl.at(0, 0), 0.5f - 1.0f, 1e-5f);
+    EXPECT_NEAR(dl.at(0, 1), 0.5f, 1e-5f);
+}
+
+TEST(Loss, BceMultiplePositives)
+{
+    Matrix logits(1, 3);
+    Matrix dl;
+    bce_multilabel_loss(logits, {{0, 2}}, dl);
+    EXPECT_LT(dl.at(0, 0), 0.0f);
+    EXPECT_GT(dl.at(0, 1), 0.0f);
+    EXPECT_LT(dl.at(0, 2), 0.0f);
+}
+
+TEST(Loss, ArgmaxAndTopk)
+{
+    Matrix m(2, 4);
+    m.at(0, 2) = 5.0f;
+    m.at(1, 0) = 1.0f;
+    m.at(1, 3) = 9.0f;
+    const auto am = argmax_rows(m);
+    EXPECT_EQ(am[0], 2);
+    EXPECT_EQ(am[1], 3);
+    const auto top = topk_row(m, 1, 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 3);
+    EXPECT_EQ(top[1], 0);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    // Minimize ||w - target||^2 with Adam.
+    Param w(1, 4);
+    Matrix target(1, 4);
+    for (int i = 0; i < 4; ++i)
+        target.at(0, static_cast<std::size_t>(i)) =
+            static_cast<float>(i) - 1.5f;
+    AdamConfig cfg;
+    cfg.lr = 0.05;
+    cfg.clip_norm = 0.0;
+    Adam opt(cfg);
+    opt.add_param(&w);
+    for (int step = 0; step < 500; ++step) {
+        for (std::size_t i = 0; i < 4; ++i)
+            w.grad.at(0, i) = 2.0f * (w.value.at(0, i) - target.at(0, i));
+        opt.step();
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(w.value.at(0, i), target.at(0, i), 0.02f);
+    EXPECT_EQ(opt.steps(), 500u);
+}
+
+TEST(Adam, SparseEmbeddingUpdatesOnlyTouchedRows)
+{
+    Rng rng(13);
+    Embedding e(6, 3, rng);
+    const auto before = e.param().value;
+    Adam opt;
+    opt.add_embedding(&e);
+    Matrix grad(1, 3, 1.0f);
+    e.backward({2}, grad);
+    opt.step();
+    for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            if (r == 2)
+                EXPECT_NE(e.param().value.at(r, c), before.at(r, c));
+            else
+                EXPECT_EQ(e.param().value.at(r, c), before.at(r, c));
+        }
+    }
+    // Gradient cleared and touched set reset.
+    EXPECT_EQ(e.param().grad.at(2, 0), 0.0f);
+    EXPECT_TRUE(e.touched().empty());
+}
+
+TEST(Adam, LrDecay)
+{
+    Adam opt(AdamConfig{1e-3, 0.9, 0.999, 1e-8, 0.0});
+    opt.decay_lr(2.0);
+    EXPECT_DOUBLE_EQ(opt.lr(), 5e-4);
+}
+
+TEST(Quantize, PruneZeroesSmallest)
+{
+    Matrix m(1, 10);
+    for (int i = 0; i < 10; ++i)
+        m.data()[i] = static_cast<float>(i + 1);
+    magnitude_prune(m, 0.5);
+    EXPECT_EQ(nonzero_count(m), 5u);
+    EXPECT_EQ(m.data()[9], 10.0f);  // largest survive
+    EXPECT_EQ(m.data()[0], 0.0f);
+}
+
+TEST(Quantize, PruneZeroIsNoOp)
+{
+    Matrix m(1, 4, 1.0f);
+    magnitude_prune(m, 0.0);
+    EXPECT_EQ(nonzero_count(m), 4u);
+}
+
+TEST(Quantize, Int8ErrorBounded)
+{
+    Rng rng(14);
+    Matrix m(8, 8);
+    uniform_init(m, 1.0f, rng);
+    const float max_err = quantize_dequantize_int8(m);
+    EXPECT_LE(max_err, 2.0f / 255.0f + 1e-6f);
+}
+
+TEST(Quantize, StorageAccounting)
+{
+    Matrix m(1, 100, 1.0f);
+    magnitude_prune(m, 0.8);
+    const auto s32 = measure_storage(m, 32);
+    EXPECT_EQ(s32.elements, 100u);
+    EXPECT_EQ(s32.nonzero, 20u);
+    EXPECT_EQ(s32.dense_bytes(), 400u);
+    EXPECT_LT(s32.sparse_bytes(), s32.dense_bytes());
+    const auto s8 = measure_storage(m, 8);
+    EXPECT_LT(s8.sparse_bytes(), s32.sparse_bytes());
+}
+
+TEST(Serialize, MatrixRoundTrip)
+{
+    Rng rng(15);
+    Matrix m(3, 5);
+    uniform_init(m, 1.0f, rng);
+    std::stringstream ss;
+    save_matrix(ss, m);
+    const Matrix n = load_matrix(ss);
+    EXPECT_EQ(n, m);
+}
+
+TEST(Serialize, ParamsRoundTripAndValidation)
+{
+    Rng rng(16);
+    Matrix a(2, 2);
+    Matrix b(1, 3);
+    uniform_init(a, 1.0f, rng);
+    uniform_init(b, 1.0f, rng);
+    std::stringstream ss;
+    save_params(ss, {&a, &b});
+    Matrix a2(2, 2);
+    Matrix b2(1, 3);
+    load_params(ss, {&a2, &b2});
+    EXPECT_EQ(a2, a);
+    EXPECT_EQ(b2, b);
+
+    std::stringstream ss2;
+    save_params(ss2, {&a});
+    Matrix wrong(9, 9);
+    EXPECT_THROW(load_params(ss2, {&wrong}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace voyager::nn

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the dense kernels: GEMM variants against naive reference,
+ * softmax/sigmoid/tanh, bias ops and gradient clipping.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.hpp"
+#include "nn/ops.hpp"
+#include "util/random.hpp"
+
+namespace voyager::nn {
+namespace {
+
+Matrix
+random_matrix(std::size_t r, std::size_t c, Rng &rng)
+{
+    Matrix m(r, c);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = rng.next_float() * 2.0f - 1.0f;
+    return m;
+}
+
+Matrix
+naive_gemm(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            c.at(i, j) = acc;
+        }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &m)
+{
+    Matrix t(m.cols(), m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            t.at(j, i) = m.at(i, j);
+    return t;
+}
+
+void
+expect_close(const Matrix &a, const Matrix &b, float tol = 1e-4f)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(a.data()[i], b.data()[i], tol);
+}
+
+TEST(Matrix, BasicsAndReshape)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_EQ(m.at(1, 2), 1.5f);
+    m.reshape(3, 2);
+    EXPECT_EQ(m.rows(), 3u);
+    m.zero();
+    EXPECT_EQ(m.at(0, 0), 0.0f);
+    m.resize(1, 4);
+    EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(Ops, GemmNnMatchesNaive)
+{
+    Rng rng(1);
+    const auto a = random_matrix(5, 7, rng);
+    const auto b = random_matrix(7, 3, rng);
+    Matrix c(5, 3);
+    gemm_nn(a, b, c);
+    expect_close(c, naive_gemm(a, b));
+}
+
+TEST(Ops, GemmNnAccumulates)
+{
+    Rng rng(2);
+    const auto a = random_matrix(2, 2, rng);
+    const auto b = random_matrix(2, 2, rng);
+    Matrix c(2, 2, 1.0f);
+    gemm_nn(a, b, c);
+    auto expect = naive_gemm(a, b);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        expect.data()[i] += 1.0f;
+    expect_close(c, expect);
+}
+
+TEST(Ops, GemmTnMatchesNaive)
+{
+    Rng rng(3);
+    const auto a = random_matrix(6, 4, rng);  // (k, m)
+    const auto b = random_matrix(6, 5, rng);  // (k, n)
+    Matrix c(4, 5);
+    gemm_tn(a, b, c);
+    expect_close(c, naive_gemm(transpose(a), b));
+}
+
+TEST(Ops, GemmNtMatchesNaive)
+{
+    Rng rng(4);
+    const auto a = random_matrix(3, 6, rng);  // (m, k)
+    const auto b = random_matrix(5, 6, rng);  // (n, k)
+    Matrix c(3, 5);
+    gemm_nt(a, b, c);
+    expect_close(c, naive_gemm(a, transpose(b)));
+}
+
+TEST(Ops, AddAxpyScale)
+{
+    Matrix y(1, 3);
+    Matrix x(1, 3);
+    for (int i = 0; i < 3; ++i) {
+        y.data()[i] = static_cast<float>(i);
+        x.data()[i] = 1.0f;
+    }
+    add_inplace(y, x);
+    EXPECT_EQ(y.at(0, 2), 3.0f);
+    axpy(y, 2.0f, x);
+    EXPECT_EQ(y.at(0, 0), 3.0f);
+    scale_inplace(y, 0.5f);
+    EXPECT_EQ(y.at(0, 0), 1.5f);
+}
+
+TEST(Ops, BiasForwardBackward)
+{
+    Matrix y(2, 3);
+    Matrix bias(1, 3);
+    bias.at(0, 1) = 5.0f;
+    add_bias(y, bias);
+    EXPECT_EQ(y.at(0, 1), 5.0f);
+    EXPECT_EQ(y.at(1, 1), 5.0f);
+
+    Matrix dy(2, 3, 1.0f);
+    Matrix db(1, 3);
+    bias_backward(dy, db);
+    EXPECT_EQ(db.at(0, 0), 2.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(5);
+    auto m = random_matrix(4, 9, rng);
+    scale_inplace(m, 10.0f);  // exercise stabilization
+    softmax_rows(m);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            sum += m.at(r, c);
+            ASSERT_GE(m.at(r, c), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Ops, SoftmaxHandlesExtremeLogits)
+{
+    Matrix m(1, 3);
+    m.at(0, 0) = 1000.0f;
+    m.at(0, 1) = -1000.0f;
+    m.at(0, 2) = 999.0f;
+    softmax_rows(m);
+    EXPECT_FALSE(std::isnan(m.at(0, 0)));
+    EXPECT_GT(m.at(0, 0), m.at(0, 2));
+    EXPECT_NEAR(m.at(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(Ops, SigmoidAndTanh)
+{
+    Matrix m(1, 2);
+    m.at(0, 0) = 0.0f;
+    m.at(0, 1) = 100.0f;
+    auto t = m;
+    sigmoid_inplace(m);
+    EXPECT_NEAR(m.at(0, 0), 0.5f, 1e-6f);
+    EXPECT_NEAR(m.at(0, 1), 1.0f, 1e-6f);
+    tanh_inplace(t);
+    EXPECT_NEAR(t.at(0, 0), 0.0f, 1e-6f);
+    EXPECT_NEAR(t.at(0, 1), 1.0f, 1e-6f);
+}
+
+TEST(Ops, Hadamard)
+{
+    Matrix a(1, 3, 2.0f);
+    Matrix b(1, 3, 3.0f);
+    Matrix y(1, 3, 10.0f);
+    hadamard(a, b, y);
+    EXPECT_EQ(y.at(0, 0), 6.0f);
+    hadamard_add(a, b, y);
+    EXPECT_EQ(y.at(0, 0), 12.0f);
+}
+
+TEST(Ops, SumSquares)
+{
+    Matrix m(1, 3);
+    m.at(0, 0) = 3.0f;
+    m.at(0, 1) = 4.0f;
+    EXPECT_DOUBLE_EQ(sum_squares(m), 25.0);
+}
+
+TEST(Ops, ClipGradientsScalesToNorm)
+{
+    Matrix g(1, 2);
+    g.at(0, 0) = 3.0f;
+    g.at(0, 1) = 4.0f;  // norm 5
+    clip_gradients({&g}, 1.0f);
+    EXPECT_NEAR(std::sqrt(sum_squares(g)), 1.0, 1e-5);
+}
+
+TEST(Ops, ClipGradientsNoOpBelowNorm)
+{
+    Matrix g(1, 2);
+    g.at(0, 0) = 0.3f;
+    clip_gradients({&g}, 1.0f);
+    EXPECT_NEAR(g.at(0, 0), 0.3f, 1e-7f);
+}
+
+}  // namespace
+}  // namespace voyager::nn

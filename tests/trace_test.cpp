@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the trace layer: access records, the trace container,
+ * serialization round trips and the recorder/layout helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/gen/recorder.hpp"
+#include "trace/trace.hpp"
+
+namespace voyager::trace {
+namespace {
+
+MemoryAccess
+acc(std::uint64_t id, Addr pc, Addr addr, bool load = true)
+{
+    return {id, pc, addr, load};
+}
+
+TEST(MemoryAccess, Decomposition)
+{
+    const MemoryAccess a = acc(0, 0x400000, 0x12345678);
+    EXPECT_EQ(a.line(), 0x12345678ull >> 6);
+    EXPECT_EQ(a.page(), 0x12345678ull >> 12);
+    EXPECT_EQ(a.offset(), (0x12345678ull >> 6) & 63);
+}
+
+TEST(Trace, AppendTracksInstructions)
+{
+    Trace t("x");
+    t.append(acc(0, 1, 100));
+    t.append(acc(5, 2, 200));
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.instructions(), 6u);
+    EXPECT_EQ(t[1].pc, 2u);
+}
+
+TEST(Trace, StatsCountsUniqueEntities)
+{
+    Trace t("x");
+    t.append(acc(0, 1, 0x1000));
+    t.append(acc(1, 1, 0x1040));          // same page, new line
+    t.append(acc(2, 2, 0x2000, false));   // store, new page
+    t.append(acc(3, 2, 0x1000));          // repeat line
+    const auto s = t.stats();
+    EXPECT_EQ(s.accesses, 4u);
+    EXPECT_EQ(s.unique_pcs, 2u);
+    EXPECT_EQ(s.unique_lines, 3u);
+    EXPECT_EQ(s.unique_pages, 2u);
+    EXPECT_DOUBLE_EQ(s.load_fraction, 0.75);
+}
+
+TEST(Trace, TruncateShortens)
+{
+    Trace t("x");
+    for (std::uint64_t i = 0; i < 10; ++i)
+        t.append(acc(i * 2, 1, 0x1000 + i * 64));
+    t.truncate(3);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.instructions(), 5u);
+    t.truncate(100);  // no-op
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Trace, BinaryRoundTrip)
+{
+    Trace t("roundtrip");
+    t.append(acc(0, 0x400100, 0xdeadbeef));
+    t.append(acc(7, 0x400104, 0xcafebabe, false));
+    t.set_instructions(50);
+    std::stringstream ss;
+    t.save_binary(ss);
+    const Trace u = Trace::load_binary(ss);
+    EXPECT_EQ(u.name(), "roundtrip");
+    EXPECT_EQ(u.instructions(), 50u);
+    ASSERT_EQ(u.size(), 2u);
+    EXPECT_EQ(u[0], t[0]);
+    EXPECT_EQ(u[1], t[1]);
+}
+
+TEST(Trace, BinaryRejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "not a trace";
+    EXPECT_THROW(Trace::load_binary(ss), std::runtime_error);
+}
+
+TEST(Trace, TextRoundTrip)
+{
+    Trace t("txt");
+    t.append(acc(1, 11, 111));
+    t.append(acc(2, 22, 222, false));
+    std::stringstream ss;
+    t.save_text(ss);
+    const Trace u = Trace::load_text(ss);
+    ASSERT_EQ(u.size(), 2u);
+    EXPECT_EQ(u[0].pc, 11u);
+    EXPECT_FALSE(u[1].is_load);
+}
+
+TEST(Recorder, AdvancesInstructionIds)
+{
+    Trace t("r");
+    TraceRecorder rec(t);
+    rec.load(0x400000, 0x1000);
+    rec.compute(3);
+    rec.store(0x400004, 0x2000);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].instr_id, 0u);
+    EXPECT_EQ(t[1].instr_id, 4u);
+    EXPECT_TRUE(t[0].is_load);
+    EXPECT_FALSE(t[1].is_load);
+    EXPECT_EQ(rec.instr_id(), 5u);
+}
+
+TEST(Layout, PcEncodesBasicBlock)
+{
+    const Addr pc = layout::pc_of(3, 2);
+    EXPECT_EQ(pc, layout::kCodeBase + 3 * 256 + 8);
+    // Basic-block id recoverable via >> 8 (the labeler's default).
+    EXPECT_EQ(layout::pc_of(3, 0) >> 8, layout::pc_of(3, 63) >> 8);
+    EXPECT_NE(layout::pc_of(3, 0) >> 8, layout::pc_of(4, 0) >> 8);
+}
+
+TEST(Layout, DataBasesAreDisjointPages)
+{
+    EXPECT_NE(page_of(layout::data_base(0)), page_of(layout::data_base(1)));
+    EXPECT_GT(layout::data_base(1) - layout::data_base(0), 1ull << 29);
+}
+
+}  // namespace
+}  // namespace voyager::trace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the hierarchical vocabulary: page/offset decomposition,
+ * delta tokens for infrequent addresses, OOV handling, decode
+ * round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include "core/vocab.hpp"
+
+namespace voyager::core {
+namespace {
+
+LlcAccess
+acc(Addr pc, Addr line)
+{
+    LlcAccess a;
+    a.pc = pc;
+    a.line = line;
+    a.is_load = true;
+    return a;
+}
+
+std::vector<LlcAccess>
+repeated_stream()
+{
+    // Lines 0x100, 0x101, 0x5000 appear repeatedly (frequent); line
+    // 0x9990 appears once (infrequent -> delta representation).
+    std::vector<LlcAccess> s;
+    for (int rep = 0; rep < 3; ++rep) {
+        s.push_back(acc(1, 0x100));
+        s.push_back(acc(1, 0x101));
+        s.push_back(acc(2, 0x5000));
+    }
+    s.push_back(acc(2, 0x5000));
+    s.push_back(acc(3, 0x9990));  // infrequent, delta from 0x5000
+    return s;
+}
+
+TEST(Vocab, SizesCountTokens)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    EXPECT_EQ(v.num_pc_tokens(), 4);  // OOV + 3 PCs
+    // Frequent lines live on pages 0x100>>6=4 and 0x5000>>6=320:
+    // 2 real pages + OOV + page-delta tokens.
+    EXPECT_EQ(v.num_real_pages(), 2u);
+    EXPECT_GE(v.num_page_delta_tokens(), 1u);
+    EXPECT_EQ(v.num_offset_tokens(), 64 + 127);
+}
+
+TEST(Vocab, EncodeFrequentLineIsAbsolute)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    const Token t = v.encode(1, 0x100, std::nullopt);
+    EXPECT_FALSE(t.is_delta);
+    EXPECT_GT(t.page, 0);
+    EXPECT_EQ(t.offset, static_cast<std::int32_t>(0x100 & 63));
+    EXPECT_GT(t.pc, 0);
+}
+
+TEST(Vocab, EncodeDecodeRoundTripAbsolute)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    const Token t = v.encode(1, 0x101, 0x100);
+    const auto line = v.decode(t.page, t.offset, /*prev=*/0x100);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, 0x101u);
+}
+
+TEST(Vocab, InfrequentLineUsesDeltaTokens)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    const Token t = v.encode(3, 0x9990, 0x5000);
+    EXPECT_TRUE(t.is_delta);
+    EXPECT_TRUE(v.is_delta_page_token(t.page));
+    EXPECT_GE(t.offset, 64);
+    // Round trip through the delta representation.
+    const auto line = v.decode(t.page, t.offset, 0x5000);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, 0x9990u);
+}
+
+TEST(Vocab, UnknownPcAndPageAreOov)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    const Token t = v.encode(999, 0xffff'0000, std::nullopt);
+    EXPECT_EQ(t.pc, Vocabulary::kOovPc);
+    EXPECT_EQ(t.page, Vocabulary::kOovPage);
+}
+
+TEST(Vocab, DecodeRejectsOovAndOutOfRange)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    EXPECT_FALSE(v.decode(Vocabulary::kOovPage, 5, 0x100).has_value());
+    EXPECT_FALSE(v.decode(9999, 5, 0x100).has_value());
+}
+
+TEST(Vocab, DecodeRejectsOffsetDeltaLeavingPage)
+{
+    const auto v = Vocabulary::build(repeated_stream());
+    // Offset delta +63 from an offset of 32 leaves the page.
+    const std::int32_t big_delta_token = 64 + (63 + 63);
+    const Addr prev = make_line(4, 32);
+    EXPECT_FALSE(v.decode(1, big_delta_token, prev).has_value());
+}
+
+TEST(Vocab, DisablingDeltasKeepsEverythingAbsolute)
+{
+    VocabConfig cfg;
+    cfg.use_deltas = false;
+    const auto v = Vocabulary::build(repeated_stream(), cfg);
+    EXPECT_EQ(v.num_page_delta_tokens(), 0u);
+    const Token t = v.encode(3, 0x9990, 0x5000);
+    EXPECT_FALSE(t.is_delta);
+    EXPECT_GT(t.page, 0);  // 0x9990's page becomes a real page token
+}
+
+TEST(Vocab, MaxPageDeltasHonored)
+{
+    // A stream of unique lines with many distinct page deltas.
+    std::vector<LlcAccess> s;
+    Addr line = 0;
+    for (int i = 0; i < 200; ++i) {
+        line += static_cast<Addr>(64 + i * 64);  // growing page deltas
+        s.push_back(acc(1, line));
+    }
+    VocabConfig cfg;
+    cfg.max_page_deltas = 5;
+    const auto v = Vocabulary::build(s, cfg);
+    EXPECT_LE(v.num_page_delta_tokens(), 5u);
+}
+
+TEST(Vocab, EncodedStreamAlignsWithInput)
+{
+    const auto stream = repeated_stream();
+    const auto v = Vocabulary::build(stream);
+    const auto es = encode_stream(stream, v);
+    ASSERT_EQ(es.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(es.line[i], stream[i].line);
+        EXPECT_EQ(es.is_load[i], 1);
+        EXPECT_GE(es.page[i], 0);
+        EXPECT_LT(es.page[i], v.num_page_tokens());
+        EXPECT_GE(es.offset[i], 0);
+        EXPECT_LT(es.offset[i], v.num_offset_tokens());
+    }
+}
+
+TEST(Vocab, FrequentThresholdRespected)
+{
+    VocabConfig cfg;
+    cfg.min_addr_freq = 4;  // even 3x-repeated lines become deltas
+    const auto v = Vocabulary::build(repeated_stream(), cfg);
+    const Token t = v.encode(1, 0x100, 0x5000);
+    EXPECT_TRUE(t.is_delta || t.page == Vocabulary::kOovPage);
+}
+
+}  // namespace
+}  // namespace voyager::core

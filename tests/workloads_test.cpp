@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the workload generators: every paper benchmark must
+ * produce a deterministic trace with the footprint character the
+ * paper's Table 2 attributes to it.
+ */
+#include <gtest/gtest.h>
+
+#include "trace/gen/gap.hpp"
+#include "trace/gen/recorder.hpp"
+#include "trace/gen/graph.hpp"
+#include "trace/gen/oltp.hpp"
+#include "trace/gen/spec_like.hpp"
+#include "trace/gen/workloads.hpp"
+
+namespace voyager::trace::gen {
+namespace {
+
+TEST(Graph, CsrDegreesConsistent)
+{
+    Rng rng(1);
+    const Graph g = make_uniform_graph(100, 4.0, rng);
+    EXPECT_EQ(g.num_nodes(), 100u);
+    std::uint64_t out_sum = 0;
+    std::uint64_t in_sum = 0;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+        out_sum += g.out_degree(n);
+        in_sum += g.in_degree(n);
+    }
+    EXPECT_EQ(out_sum, g.num_edges());
+    EXPECT_EQ(in_sum, g.num_edges());
+}
+
+TEST(Graph, NeighborsInRange)
+{
+    Rng rng(2);
+    const Graph g = make_powerlaw_graph(64, 3.0, 0.8, rng);
+    for (const NodeId v : g.out_neigh())
+        EXPECT_LT(v, g.num_nodes());
+    for (const NodeId v : g.in_neigh())
+        EXPECT_LT(v, g.num_nodes());
+}
+
+TEST(Graph, PowerLawHasHubs)
+{
+    Rng rng(3);
+    const Graph g = make_powerlaw_graph(2000, 8.0, 0.9, rng);
+    std::uint32_t max_in = 0;
+    for (NodeId n = 0; n < g.num_nodes(); ++n)
+        max_in = std::max(max_in, g.in_degree(n));
+    // A hub should far exceed the average in-degree (8).
+    EXPECT_GT(max_in, 60u);
+}
+
+TEST(Scale, ParseAndBudget)
+{
+    EXPECT_EQ(parse_scale("tiny"), Scale::Tiny);
+    EXPECT_EQ(parse_scale("small"), Scale::Small);
+    EXPECT_EQ(parse_scale("paper"), Scale::Paper);
+    EXPECT_THROW(parse_scale("huge"), std::invalid_argument);
+    EXPECT_LT(scale_accesses(Scale::Tiny), scale_accesses(Scale::Small));
+    EXPECT_LT(scale_accesses(Scale::Small), scale_accesses(Scale::Paper));
+}
+
+TEST(Workloads, RegistryNames)
+{
+    EXPECT_EQ(spec_gap_benchmarks().size(), 9u);
+    EXPECT_EQ(oltp_benchmarks().size(), 2u);
+    EXPECT_EQ(all_benchmarks().size(), 11u);
+    EXPECT_THROW(make_workload("nope", Scale::Tiny),
+                 std::invalid_argument);
+}
+
+class WorkloadParam : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadParam, ProducesBudgetedDeterministicTrace)
+{
+    const auto name = GetParam();
+    const Trace t = make_workload(name, Scale::Tiny, 5);
+    EXPECT_EQ(t.name(), name);
+    const auto budget = scale_accesses(Scale::Tiny);
+    EXPECT_GE(t.size(), budget);
+    EXPECT_LE(t.size(), budget + 64);  // kernels may finish a beat late
+    EXPECT_GE(t.instructions(), t.size());
+
+    // Determinism: same seed -> identical trace.
+    const Trace u = make_workload(name, Scale::Tiny, 5);
+    ASSERT_EQ(u.size(), t.size());
+    EXPECT_EQ(u[0], t[0]);
+    EXPECT_EQ(u[t.size() / 2], t[t.size() / 2]);
+    EXPECT_EQ(u[t.size() - 1], t[t.size() - 1]);
+
+    // Different seed -> different stream (except degenerate cases).
+    const Trace v = make_workload(name, Scale::Tiny, 6);
+    bool any_diff = v.size() != t.size();
+    for (std::size_t i = 0; !any_diff && i < t.size(); ++i)
+        any_diff = !(v[i] == t[i]);
+    EXPECT_TRUE(any_diff) << name << " ignores its seed";
+}
+
+TEST_P(WorkloadParam, HasPluralPcsAndPages)
+{
+    const Trace t = make_workload(GetParam(), Scale::Tiny, 1);
+    const auto s = t.stats();
+    EXPECT_GE(s.unique_pcs, 4u);
+    EXPECT_GE(s.unique_pages, 4u);
+    EXPECT_GT(s.load_fraction, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadParam,
+                         ::testing::ValuesIn(all_benchmarks()));
+
+TEST(Workloads, OltpHasManyMorePcsThanGap)
+{
+    const auto pr = make_workload("pr", Scale::Tiny, 1).stats();
+    const auto ads = make_workload("ads", Scale::Tiny, 1).stats();
+    // Table 2: ads has an order of magnitude more PCs than the
+    // SPEC/GAP benchmarks.
+    EXPECT_GT(ads.unique_pcs, pr.unique_pcs * 5);
+}
+
+TEST(Workloads, AdsHasMorePcsThanSearch)
+{
+    const auto search = make_workload("search", Scale::Tiny, 1).stats();
+    const auto ads = make_workload("ads", Scale::Tiny, 1).stats();
+    EXPECT_GT(ads.unique_pcs, search.unique_pcs);
+}
+
+TEST(Workloads, McfFootprintGrows)
+{
+    // mcf's arena growth should give it one of the largest line
+    // footprints relative to its length (compulsory misses, Table 2).
+    const auto mcf = make_workload("mcf", Scale::Tiny, 1).stats();
+    const auto sphinx = make_workload("sphinx", Scale::Tiny, 1).stats();
+    EXPECT_GT(static_cast<double>(mcf.unique_lines) /
+                  static_cast<double>(mcf.accesses),
+              static_cast<double>(sphinx.unique_lines) /
+                  static_cast<double>(sphinx.accesses));
+}
+
+TEST(GapKernels, PageRankTouchesFigure13Structures)
+{
+    GapParams p;
+    p.num_nodes = 256;
+    p.max_accesses = 4000;
+    const Trace t = make_pagerank_trace(p);
+    // The line-48 gather PC (block 1, line 3) must appear many times.
+    const Addr gather_pc = layout::pc_of(1, 3);
+    std::size_t gathers = 0;
+    for (const auto &a : t.accesses())
+        gathers += a.pc == gather_pc;
+    EXPECT_GT(gathers, 100u);
+}
+
+TEST(GapKernels, BfsVisitsReachableNodes)
+{
+    GapParams p;
+    p.num_nodes = 512;
+    p.max_accesses = 6000;
+    const Trace t = make_bfs_trace(p);
+    EXPECT_GE(t.size(), p.max_accesses);
+}
+
+TEST(Oltp, InterleavingMixesPcs)
+{
+    OltpParams p;
+    p.max_accesses = 4000;
+    p.concurrency = 8;
+    p.footprint_scale = 0.1;
+    const Trace t = make_search_trace(p);
+    // Adjacent accesses should frequently come from different PCs
+    // (interleaved request contexts).
+    std::size_t switches = 0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+        switches += t[i].pc != t[i - 1].pc;
+    EXPECT_GT(static_cast<double>(switches) /
+                  static_cast<double>(t.size()),
+              0.25);
+}
+
+}  // namespace
+}  // namespace voyager::trace::gen

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * voyager_cli — command-line front end for the library.
+ *
+ *   voyager_cli gen      --workload=pr --scale=small --out=trace.bin
+ *   voyager_cli stats    --trace=trace.bin
+ *   voyager_cli simulate --trace=trace.bin --prefetcher=isb --degree=2
+ *   voyager_cli train    --trace=trace.bin [--model_out=m.bin]
+ *                        [--epochs=5 --passes=4 --degree=1]
+ *
+ * `gen` writes a synthetic benchmark trace; `stats` prints Table-2
+ * style statistics; `simulate` runs a rule-based prefetcher through
+ * the full simulator; `train` trains Voyager online on the trace's
+ * LLC stream, reports unified accuracy/coverage and the simulated
+ * IPC of its replayed predictions, and optionally saves the weights.
+ */
+#include <fstream>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "nn/serialize.hpp"
+#include "prefetch/registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/gen/workloads.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace voyager;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: voyager_cli <gen|stats|simulate|train> [--key=value...]\n"
+           "  gen      --workload=<name> [--scale=tiny|small|paper]"
+           " [--seed=N] --out=FILE\n"
+           "  stats    --trace=FILE\n"
+           "  simulate --trace=FILE [--prefetcher=isb] [--degree=1]"
+           " [--scale=small]\n"
+           "  train    --trace=FILE [--epochs=5] [--passes=4]"
+           " [--degree=1] [--model_out=FILE] [--scale=small]\n";
+    return 2;
+}
+
+sim::SimConfig
+sim_config_for(const Config &cfg)
+{
+    const auto scale =
+        trace::gen::parse_scale(cfg.get_string("scale", "small"));
+    switch (scale) {
+      case trace::gen::Scale::Paper:
+        return sim::default_sim_config();
+      case trace::gen::Scale::Tiny:
+        return sim::tiny_sim_config();
+      default:
+        return sim::small_sim_config();
+    }
+}
+
+trace::Trace
+load_trace(const Config &cfg)
+{
+    const auto path = cfg.get_string("trace", "");
+    if (path.empty())
+        throw std::invalid_argument("--trace=FILE is required");
+    return trace::Trace::load_binary_file(path);
+}
+
+int
+cmd_gen(const Config &cfg)
+{
+    const auto name = cfg.get_string("workload", "pr");
+    const auto scale =
+        trace::gen::parse_scale(cfg.get_string("scale", "small"));
+    const auto out = cfg.get_string("out", name + ".trace");
+    const auto t =
+        trace::gen::make_workload(name, scale, cfg.get_uint("seed", 1));
+    t.save_binary_file(out);
+    std::cout << "wrote " << t.size() << " accesses ("
+              << t.instructions() << " instructions) to " << out
+              << "\n";
+    return 0;
+}
+
+int
+cmd_stats(const Config &cfg)
+{
+    const auto t = load_trace(cfg);
+    const auto s = t.stats();
+    Table tbl({"metric", "value"});
+    tbl.add_row({"name", t.name()});
+    tbl.add_row({"accesses", strfmt("%llu",
+                                    (unsigned long long)s.accesses)});
+    tbl.add_row({"instructions",
+                 strfmt("%llu", (unsigned long long)s.instructions)});
+    tbl.add_row({"unique PCs",
+                 strfmt("%llu", (unsigned long long)s.unique_pcs)});
+    tbl.add_row({"unique lines",
+                 strfmt("%llu", (unsigned long long)s.unique_lines)});
+    tbl.add_row({"unique pages",
+                 strfmt("%llu", (unsigned long long)s.unique_pages)});
+    tbl.add_row({"load fraction", pct(s.load_fraction)});
+    tbl.print(std::cout);
+    return 0;
+}
+
+int
+cmd_simulate(const Config &cfg)
+{
+    const auto t = load_trace(cfg);
+    const auto sim_cfg = sim_config_for(cfg);
+    const auto name = cfg.get_string("prefetcher", "isb");
+    const auto degree =
+        static_cast<std::uint32_t>(cfg.get_uint("degree", 1));
+
+    sim::NullPrefetcher none;
+    const auto base = sim::simulate(t, sim_cfg, none);
+    auto pf = prefetch::make_prefetcher(name, degree);
+    const auto r = sim::simulate(t, sim_cfg, *pf);
+
+    Table tbl({"metric", "baseline", name});
+    tbl.add_row({"IPC", strfmt("%.4f", base.ipc),
+                 strfmt("%.4f", r.ipc)});
+    tbl.add_row({"speedup", "-", pct(r.speedup_over(base))});
+    tbl.add_row({"LLC misses",
+                 strfmt("%llu", (unsigned long long)base.llc_misses),
+                 strfmt("%llu", (unsigned long long)r.llc_misses)});
+    tbl.add_row({"prefetches issued", "-",
+                 strfmt("%llu",
+                        (unsigned long long)r.prefetches_issued)});
+    tbl.add_row({"accuracy", "-", pct(r.accuracy)});
+    tbl.add_row({"coverage", "-", pct(r.coverage)});
+    tbl.add_row({"metadata", "-", human_bytes(pf->storage_bytes())});
+    tbl.print(std::cout);
+    return 0;
+}
+
+int
+cmd_train(const Config &cfg)
+{
+    const auto t = load_trace(cfg);
+    const auto sim_cfg = sim_config_for(cfg);
+    const auto stream = sim::extract_llc_stream(t, sim_cfg);
+    std::cout << "LLC stream: " << stream.size() << " accesses\n";
+
+    core::VoyagerConfig vcfg;
+    vcfg.learning_rate = cfg.get_double("lr", 2e-2);
+    vcfg.seq_len = cfg.get_uint("seq_len", 8);
+    vcfg.lstm_units = cfg.get_uint("lstm_units", 64);
+    core::VoyagerAdapter adapter(vcfg, stream);
+
+    core::OnlineTrainConfig train;
+    train.epochs = cfg.get_uint("epochs", 5);
+    train.train_passes = cfg.get_uint("passes", 4);
+    train.degree = static_cast<std::uint32_t>(cfg.get_uint("degree", 1));
+    train.max_train_samples_per_epoch =
+        cfg.get_uint("max_samples", 8000);
+    train.cumulative = cfg.get_bool("cumulative", true);
+    const auto res =
+        core::train_online(adapter, stream.size(), train);
+
+    const auto metric = core::unified_accuracy_coverage(
+        stream, res.predictions, res.first_predicted_index, 32);
+    sim::NullPrefetcher none;
+    const auto base = sim::simulate(t, sim_cfg, none);
+    sim::ReplayPrefetcher replay("voyager", res.predictions,
+                                 adapter.parameter_bytes());
+    const auto r = sim::simulate(t, sim_cfg, replay);
+
+    Table tbl({"metric", "value"});
+    tbl.add_row({"model size", human_bytes(adapter.parameter_bytes())});
+    tbl.add_row({"train time", strfmt("%.1fs", res.train_seconds)});
+    tbl.add_row({"trained samples",
+                 strfmt("%llu",
+                        (unsigned long long)res.trained_samples)});
+    tbl.add_row({"unified acc/cov", pct(metric.value())});
+    tbl.add_row({"simulated accuracy", pct(r.accuracy)});
+    tbl.add_row({"simulated coverage", pct(r.coverage)});
+    tbl.add_row({"IPC speedup", pct(r.speedup_over(base))});
+    tbl.print(std::cout);
+
+    const auto model_out = cfg.get_string("model_out", "");
+    if (!model_out.empty()) {
+        std::ofstream os(model_out, std::ios::binary);
+        std::vector<const nn::Matrix *> weights;
+        for (auto *w : adapter.model().weights())
+            weights.push_back(w);
+        nn::save_params(os, weights);
+        std::cout << "saved model to " << model_out << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        const auto cfg = Config::from_args(argc - 1, argv + 1);
+        if (cmd == "gen")
+            return cmd_gen(cfg);
+        if (cmd == "stats")
+            return cmd_stats(cfg);
+        if (cmd == "simulate")
+            return cmd_simulate(cfg);
+        if (cmd == "train")
+            return cmd_train(cfg);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
