@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_voyager.dir/bench_ablation_voyager.cpp.o"
+  "CMakeFiles/bench_ablation_voyager.dir/bench_ablation_voyager.cpp.o.d"
+  "bench_ablation_voyager"
+  "bench_ablation_voyager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_voyager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_16_case_studies.dir/bench_fig13_16_case_studies.cpp.o"
+  "CMakeFiles/bench_fig13_16_case_studies.dir/bench_fig13_16_case_studies.cpp.o.d"
+  "bench_fig13_16_case_studies"
+  "bench_fig13_16_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_16_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

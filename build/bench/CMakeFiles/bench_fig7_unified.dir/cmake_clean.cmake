@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_unified.dir/bench_fig7_unified.cpp.o"
+  "CMakeFiles/bench_fig7_unified.dir/bench_fig7_unified.cpp.o.d"
+  "bench_fig7_unified"
+  "bench_fig7_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hparams.dir/bench_table1_hparams.cpp.o"
+  "CMakeFiles/bench_table1_hparams.dir/bench_table1_hparams.cpp.o.d"
+  "bench_table1_hparams"
+  "bench_table1_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

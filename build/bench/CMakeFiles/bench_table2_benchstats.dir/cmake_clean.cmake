@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_benchstats.dir/bench_table2_benchstats.cpp.o"
+  "CMakeFiles/bench_table2_benchstats.dir/bench_table2_benchstats.cpp.o.d"
+  "bench_table2_benchstats"
+  "bench_table2_benchstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_benchstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

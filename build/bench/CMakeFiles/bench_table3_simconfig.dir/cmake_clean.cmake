@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_simconfig.dir/bench_table3_simconfig.cpp.o"
+  "CMakeFiles/bench_table3_simconfig.dir/bench_table3_simconfig.cpp.o.d"
+  "bench_table3_simconfig"
+  "bench_table3_simconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_simconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_bench_common.dir/common.cpp.o"
+  "CMakeFiles/voyager_bench_common.dir/common.cpp.o.d"
+  "libvoyager_bench_common.a"
+  "libvoyager_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

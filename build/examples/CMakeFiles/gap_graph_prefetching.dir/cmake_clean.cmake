@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_graph_prefetching.dir/gap_graph_prefetching.cpp.o"
+  "CMakeFiles/gap_graph_prefetching.dir/gap_graph_prefetching.cpp.o.d"
+  "gap_graph_prefetching"
+  "gap_graph_prefetching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_graph_prefetching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compress.cpp" "src/core/CMakeFiles/voyager_core.dir/compress.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/compress.cpp.o.d"
+  "/root/repo/src/core/delta_lstm.cpp" "src/core/CMakeFiles/voyager_core.dir/delta_lstm.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/delta_lstm.cpp.o.d"
+  "/root/repo/src/core/distilled.cpp" "src/core/CMakeFiles/voyager_core.dir/distilled.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/distilled.cpp.o.d"
+  "/root/repo/src/core/labeler.cpp" "src/core/CMakeFiles/voyager_core.dir/labeler.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/labeler.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/voyager_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/voyager_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/voyager_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/vocab.cpp" "src/core/CMakeFiles/voyager_core.dir/vocab.cpp.o" "gcc" "src/core/CMakeFiles/voyager_core.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/voyager_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/voyager_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/voyager_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/voyager_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/voyager_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_core.dir/compress.cpp.o"
+  "CMakeFiles/voyager_core.dir/compress.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/delta_lstm.cpp.o"
+  "CMakeFiles/voyager_core.dir/delta_lstm.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/distilled.cpp.o"
+  "CMakeFiles/voyager_core.dir/distilled.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/labeler.cpp.o"
+  "CMakeFiles/voyager_core.dir/labeler.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/metrics.cpp.o"
+  "CMakeFiles/voyager_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/model.cpp.o"
+  "CMakeFiles/voyager_core.dir/model.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/trainer.cpp.o"
+  "CMakeFiles/voyager_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/voyager_core.dir/vocab.cpp.o"
+  "CMakeFiles/voyager_core.dir/vocab.cpp.o.d"
+  "libvoyager_core.a"
+  "libvoyager_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

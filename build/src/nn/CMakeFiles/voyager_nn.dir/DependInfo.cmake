@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/voyager_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/voyager_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/voyager_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/hierarchical_softmax.cpp" "src/nn/CMakeFiles/voyager_nn.dir/hierarchical_softmax.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/hierarchical_softmax.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/voyager_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/voyager_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/voyager_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/voyager_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/voyager_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/voyager_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/voyager_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/voyager_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/voyager_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_nn.dir/adam.cpp.o"
+  "CMakeFiles/voyager_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/attention.cpp.o"
+  "CMakeFiles/voyager_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/voyager_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/hierarchical_softmax.cpp.o"
+  "CMakeFiles/voyager_nn.dir/hierarchical_softmax.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/layers.cpp.o"
+  "CMakeFiles/voyager_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/loss.cpp.o"
+  "CMakeFiles/voyager_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/lstm.cpp.o"
+  "CMakeFiles/voyager_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/matrix.cpp.o"
+  "CMakeFiles/voyager_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/ops.cpp.o"
+  "CMakeFiles/voyager_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/quantize.cpp.o"
+  "CMakeFiles/voyager_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/voyager_nn.dir/serialize.cpp.o"
+  "CMakeFiles/voyager_nn.dir/serialize.cpp.o.d"
+  "libvoyager_nn.a"
+  "libvoyager_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvoyager_nn.a"
+)

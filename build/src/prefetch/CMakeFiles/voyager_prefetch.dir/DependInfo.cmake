@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/best_offset.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/best_offset.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/best_offset.cpp.o.d"
+  "/root/repo/src/prefetch/domino.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/domino.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/domino.cpp.o.d"
+  "/root/repo/src/prefetch/hybrid.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/hybrid.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/hybrid.cpp.o.d"
+  "/root/repo/src/prefetch/isb.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/isb.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/isb.cpp.o.d"
+  "/root/repo/src/prefetch/registry.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/registry.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/registry.cpp.o.d"
+  "/root/repo/src/prefetch/sms.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/sms.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/sms.cpp.o.d"
+  "/root/repo/src/prefetch/stms.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/stms.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/stms.cpp.o.d"
+  "/root/repo/src/prefetch/stride.cpp" "src/prefetch/CMakeFiles/voyager_prefetch.dir/stride.cpp.o" "gcc" "src/prefetch/CMakeFiles/voyager_prefetch.dir/stride.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/voyager_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/voyager_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/voyager_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

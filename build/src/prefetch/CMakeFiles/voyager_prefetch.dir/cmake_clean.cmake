@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_prefetch.dir/best_offset.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/best_offset.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/domino.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/domino.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/hybrid.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/hybrid.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/isb.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/isb.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/registry.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/registry.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/sms.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/sms.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/stms.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/stms.cpp.o.d"
+  "CMakeFiles/voyager_prefetch.dir/stride.cpp.o"
+  "CMakeFiles/voyager_prefetch.dir/stride.cpp.o.d"
+  "libvoyager_prefetch.a"
+  "libvoyager_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/voyager_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/voyager_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/core_model.cpp" "src/sim/CMakeFiles/voyager_sim.dir/core_model.cpp.o" "gcc" "src/sim/CMakeFiles/voyager_sim.dir/core_model.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/voyager_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/voyager_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/sim/CMakeFiles/voyager_sim.dir/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/voyager_sim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/voyager_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/voyager_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/voyager_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/voyager_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

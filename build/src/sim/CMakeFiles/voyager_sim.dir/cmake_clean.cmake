@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_sim.dir/cache.cpp.o"
+  "CMakeFiles/voyager_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/voyager_sim.dir/core_model.cpp.o"
+  "CMakeFiles/voyager_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/voyager_sim.dir/dram.cpp.o"
+  "CMakeFiles/voyager_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/voyager_sim.dir/hierarchy.cpp.o"
+  "CMakeFiles/voyager_sim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/voyager_sim.dir/simulator.cpp.o"
+  "CMakeFiles/voyager_sim.dir/simulator.cpp.o.d"
+  "libvoyager_sim.a"
+  "libvoyager_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

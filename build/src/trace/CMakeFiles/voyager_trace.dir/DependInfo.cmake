@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/gen/gap.cpp" "src/trace/CMakeFiles/voyager_trace.dir/gen/gap.cpp.o" "gcc" "src/trace/CMakeFiles/voyager_trace.dir/gen/gap.cpp.o.d"
+  "/root/repo/src/trace/gen/graph.cpp" "src/trace/CMakeFiles/voyager_trace.dir/gen/graph.cpp.o" "gcc" "src/trace/CMakeFiles/voyager_trace.dir/gen/graph.cpp.o.d"
+  "/root/repo/src/trace/gen/oltp.cpp" "src/trace/CMakeFiles/voyager_trace.dir/gen/oltp.cpp.o" "gcc" "src/trace/CMakeFiles/voyager_trace.dir/gen/oltp.cpp.o.d"
+  "/root/repo/src/trace/gen/spec_like.cpp" "src/trace/CMakeFiles/voyager_trace.dir/gen/spec_like.cpp.o" "gcc" "src/trace/CMakeFiles/voyager_trace.dir/gen/spec_like.cpp.o.d"
+  "/root/repo/src/trace/gen/workloads.cpp" "src/trace/CMakeFiles/voyager_trace.dir/gen/workloads.cpp.o" "gcc" "src/trace/CMakeFiles/voyager_trace.dir/gen/workloads.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/voyager_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/voyager_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/voyager_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

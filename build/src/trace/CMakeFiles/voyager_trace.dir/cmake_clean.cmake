@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_trace.dir/gen/gap.cpp.o"
+  "CMakeFiles/voyager_trace.dir/gen/gap.cpp.o.d"
+  "CMakeFiles/voyager_trace.dir/gen/graph.cpp.o"
+  "CMakeFiles/voyager_trace.dir/gen/graph.cpp.o.d"
+  "CMakeFiles/voyager_trace.dir/gen/oltp.cpp.o"
+  "CMakeFiles/voyager_trace.dir/gen/oltp.cpp.o.d"
+  "CMakeFiles/voyager_trace.dir/gen/spec_like.cpp.o"
+  "CMakeFiles/voyager_trace.dir/gen/spec_like.cpp.o.d"
+  "CMakeFiles/voyager_trace.dir/gen/workloads.cpp.o"
+  "CMakeFiles/voyager_trace.dir/gen/workloads.cpp.o.d"
+  "CMakeFiles/voyager_trace.dir/trace.cpp.o"
+  "CMakeFiles/voyager_trace.dir/trace.cpp.o.d"
+  "libvoyager_trace.a"
+  "libvoyager_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_util.dir/config.cpp.o"
+  "CMakeFiles/voyager_util.dir/config.cpp.o.d"
+  "CMakeFiles/voyager_util.dir/random.cpp.o"
+  "CMakeFiles/voyager_util.dir/random.cpp.o.d"
+  "CMakeFiles/voyager_util.dir/stats.cpp.o"
+  "CMakeFiles/voyager_util.dir/stats.cpp.o.d"
+  "CMakeFiles/voyager_util.dir/string_util.cpp.o"
+  "CMakeFiles/voyager_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/voyager_util.dir/table.cpp.o"
+  "CMakeFiles/voyager_util.dir/table.cpp.o.d"
+  "libvoyager_util.a"
+  "libvoyager_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

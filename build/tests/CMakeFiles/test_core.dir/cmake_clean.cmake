@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/feature_test.cpp.o"
+  "CMakeFiles/test_core.dir/feature_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/labeler_test.cpp.o"
+  "CMakeFiles/test_core.dir/labeler_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/practicality_test.cpp.o"
+  "CMakeFiles/test_core.dir/practicality_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/trainer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/vocab_test.cpp.o"
+  "CMakeFiles/test_core.dir/vocab_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/voyager_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/voyager_model_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch.dir/prefetcher_test.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetcher_test.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/sms_replacement_test.cpp.o"
+  "CMakeFiles/test_prefetch.dir/sms_replacement_test.cpp.o.d"
+  "test_prefetch"
+  "test_prefetch.pdb"
+  "test_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyager_cli.dir/voyager_cli.cpp.o"
+  "CMakeFiles/voyager_cli.dir/voyager_cli.cpp.o.d"
+  "voyager_cli"
+  "voyager_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyager_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
