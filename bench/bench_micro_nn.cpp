@@ -6,6 +6,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "nn/attention.hpp"
 #include "nn/hierarchical_softmax.hpp"
 #include "nn/layers.hpp"
@@ -37,6 +39,104 @@ BM_GemmNn(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_GemmNn)->Arg(32)->Arg(64)->Arg(128);
+
+// ---------------------------------------------------------------------
+// Microkernel vs seed-naive reference at Voyager shapes: (m, k, n) =
+// (batch, input/hidden, 4*hidden or head width) with batch <= 32 and
+// hidden 128-256 — the GEMMs every training step issues. items/s is
+// FLOP/s; divide a *Voyager rate by its *RefVoyager twin for the
+// speedup.
+// ---------------------------------------------------------------------
+
+void
+GemmVoyagerShapes(benchmark::internal::Benchmark *b)
+{
+    b->Args({32, 128, 512})
+        ->Args({32, 256, 1024})
+        ->Args({16, 256, 1024})
+        ->Args({8, 128, 512});
+}
+
+template <void (*Gemm)(const Matrix &, const Matrix &, Matrix &)>
+void
+BM_GemmNnShaped(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto n = static_cast<std::size_t>(state.range(2));
+    Rng rng(11);
+    Matrix a(m, k);
+    Matrix b(k, n);
+    Matrix c(m, n);
+    nn::uniform_init(a, 1.0f, rng);
+    nn::uniform_init(b, 1.0f, rng);
+    for (auto _ : state) {
+        c.zero();
+        Gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_GemmNnShaped<nn::gemm_nn>)
+    ->Name("BM_GemmNnVoyager")
+    ->Apply(GemmVoyagerShapes);
+BENCHMARK(BM_GemmNnShaped<nn::gemm_nn_ref>)
+    ->Name("BM_GemmNnRefVoyager")
+    ->Apply(GemmVoyagerShapes);
+
+template <void (*Gemm)(const Matrix &, const Matrix &, Matrix &)>
+void
+BM_GemmTnShaped(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto n = static_cast<std::size_t>(state.range(2));
+    Rng rng(12);
+    Matrix a(k, m);  // transposed operand, as in weight gradients
+    Matrix b(k, n);
+    Matrix c(m, n);
+    nn::uniform_init(a, 1.0f, rng);
+    nn::uniform_init(b, 1.0f, rng);
+    for (auto _ : state) {
+        c.zero();
+        Gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_GemmTnShaped<nn::gemm_tn>)
+    ->Name("BM_GemmTnVoyager")
+    ->Apply(GemmVoyagerShapes);
+BENCHMARK(BM_GemmTnShaped<nn::gemm_tn_ref>)
+    ->Name("BM_GemmTnRefVoyager")
+    ->Apply(GemmVoyagerShapes);
+
+template <void (*Gemm)(const Matrix &, const Matrix &, Matrix &)>
+void
+BM_GemmNtShaped(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto n = static_cast<std::size_t>(state.range(2));
+    Rng rng(13);
+    Matrix a(m, k);
+    Matrix b(n, k);  // transposed operand, as in input gradients
+    Matrix c(m, n);
+    nn::uniform_init(a, 1.0f, rng);
+    nn::uniform_init(b, 1.0f, rng);
+    for (auto _ : state) {
+        c.zero();
+        Gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_GemmNtShaped<nn::gemm_nt>)
+    ->Name("BM_GemmNtVoyager")
+    ->Apply(GemmVoyagerShapes);
+BENCHMARK(BM_GemmNtShaped<nn::gemm_nt_ref>)
+    ->Name("BM_GemmNtRefVoyager")
+    ->Apply(GemmVoyagerShapes);
 
 void
 BM_LstmForward(benchmark::State &state)
@@ -187,6 +287,52 @@ BM_HierarchicalSoftmaxHead(benchmark::State &state)
 }
 BENCHMARK(BM_HierarchicalSoftmaxHead)->Arg(1024)->Arg(16384);
 
+/**
+ * Dump the nn::op_stats() counters accumulated across every benchmark
+ * that ran. "work" is FLOPs for GEMM and processed elements for the
+ * pointwise classes; "rate" is work/seconds. This is the baseline
+ * future perf PRs diff against (see README "Reading the op counters").
+ */
+void
+report_op_stats()
+{
+    const auto &s = voyager::nn::op_stats();
+    struct Row
+    {
+        const char *name;
+        const voyager::nn::OpClassStats &c;
+    };
+    const Row rows[] = {
+        {"gemm", s.gemm},
+        {"lstm_gate", s.lstm_gate},
+        {"attention", s.attention},
+    };
+    std::printf("\nop-class counters (whole run)\n");
+    std::printf("%-10s %12s %16s %12s %14s\n", "class", "calls",
+                "work", "seconds", "work/s");
+    for (const Row &r : rows) {
+        const double rate =
+            r.c.seconds > 0.0
+                ? static_cast<double>(r.c.work) / r.c.seconds
+                : 0.0;
+        std::printf("%-10s %12llu %16llu %12.3f %14.3e\n", r.name,
+                    static_cast<unsigned long long>(r.c.calls),
+                    static_cast<unsigned long long>(r.c.work),
+                    r.c.seconds, rate);
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    voyager::nn::op_stats().reset();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report_op_stats();
+    return 0;
+}

@@ -29,16 +29,26 @@ train_online(SequenceModel &model, std::size_t stream_size,
     if (stream_size == 0 || cfg.epochs == 0)
         return res;
 
-    const std::size_t epoch_len =
-        (stream_size + cfg.epochs - 1) / cfg.epochs;
-    res.first_predicted_index = std::min(stream_size, epoch_len);
+    // Balanced partition: ceil-division sized every epoch at
+    // ceil(n/E), so whenever stream_size % epochs != 0 the final
+    // epoch(s) came up empty and their inference slice was silently
+    // skipped. Give every epoch floor(n/E) samples and spread the
+    // remainder over the first n % E epochs; if the stream is shorter
+    // than the epoch count, run one epoch per sample.
+    const std::size_t n_epochs = std::min(cfg.epochs, stream_size);
+    const std::size_t base = stream_size / n_epochs;
+    const std::size_t extra = stream_size % n_epochs;
+    const auto epoch_begin = [base, extra](std::size_t e) {
+        return e * base + std::min(e, extra);
+    };
+    res.first_predicted_index =
+        n_epochs > 1 ? epoch_begin(1) : stream_size;
 
     Rng rng(cfg.seed);
-    for (std::size_t e = 0; e < cfg.epochs; ++e) {
-        const std::size_t begin = e * epoch_len;
-        const std::size_t end = std::min(stream_size, begin + epoch_len);
-        if (begin >= end)
-            break;
+    for (std::size_t e = 0; e < n_epochs; ++e) {
+        const std::size_t begin = epoch_begin(e);
+        const std::size_t end = epoch_begin(e + 1);
+        assert(begin < end && "every epoch must be non-empty");
         std::vector<std::size_t> indices;
         indices.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i)

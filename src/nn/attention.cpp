@@ -21,9 +21,11 @@ MoeAttention::forward(const Matrix &page_emb, const Matrix &offset_emb,
     assert(offset_emb.rows() == batch);
     assert(offset_emb.cols() == experts_ * d);
 
+    ScopedOpTimer timer(op_stats().attention,
+                        4ull * batch * experts_ * d);
     page_ = page_emb;
     offset_ = offset_emb;
-    attn_.resize(batch, experts_);
+    attn_.resize_uninit(batch, experts_);  // scores assigned below
 
     // Scores: a(o, s) = softmax_s(f * <h_p, h_{o,s}>)  (Eq. 9).
     for (std::size_t r = 0; r < batch; ++r) {
@@ -62,8 +64,10 @@ MoeAttention::backward(const Matrix &dout, Matrix &dpage, Matrix &doffset)
     const std::size_t d = page_.cols();
     assert(dout.rows() == batch && dout.cols() == d);
 
-    dpage.resize(batch, d);
-    doffset.resize(batch, experts_ * d);
+    ScopedOpTimer timer(op_stats().attention,
+                        8ull * batch * experts_ * d);
+    dpage.resize_uninit(batch, d);           // fully assigned below
+    doffset.resize_uninit(batch, experts_ * d);
 
     std::vector<float> da(experts_);
     std::vector<float> dscore(experts_);

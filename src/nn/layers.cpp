@@ -36,7 +36,7 @@ void
 Embedding::forward(const std::vector<std::int32_t> &ids, Matrix &out) const
 {
     const std::size_t dim = table_.value.cols();
-    out.resize(ids.size(), dim);
+    out.resize_uninit(ids.size(), dim);  // every row is memcpy'd below
     for (std::size_t i = 0; i < ids.size(); ++i) {
         assert(ids[i] >= 0 &&
                static_cast<std::size_t>(ids[i]) < table_.value.rows());

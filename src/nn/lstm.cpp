@@ -27,26 +27,35 @@ Lstm::forward(const std::vector<Matrix> &xs, Matrix &h_last)
     const std::size_t h = hidden();
     const std::size_t T = xs.size();
 
-    xs_ = xs;
-    gates_.assign(T, Matrix());
-    cs_.assign(T, Matrix());
-    hs_.assign(T, Matrix());
+    // Borrow the caller's sequence (header contract) instead of deep-
+    // copying it, and grow the per-step caches without destroying
+    // their buffers so repeated calls stop reallocating.
+    xs_ = &xs;
+    steps_ = T;
+    if (gates_.size() < T) {
+        gates_.resize(T);
+        cs_.resize(T);
+        hs_.resize(T);
+    }
 
-    Matrix h_prev(batch, h);
-    Matrix c_prev(batch, h);
+    const float *bias = b_.value.data();
     for (std::size_t t = 0; t < T; ++t) {
         assert(xs[t].rows() == batch && xs[t].cols() == in_dim());
         Matrix &z = gates_[t];
-        z.resize(batch, 4 * h);
+        z.resize(batch, 4 * h);  // zero-fills: the GEMMs accumulate
         gemm_nn(xs[t], wx_.value, z);
-        gemm_nn(h_prev, wh_.value, z);
-        add_bias(z, b_.value);
+        if (t > 0)  // h_{-1} = 0 contributes nothing at t = 0
+            gemm_nn(hs_[t - 1], wh_.value, z);
 
         cs_[t].resize(batch, h);
         hs_[t].resize(batch, h);
+        // Fused gate pass: bias add + activations + cell/hidden
+        // update in one sweep over z (c_{-1} = 0 at t = 0; previous
+        // states are read in place, not copied per step).
+        ScopedOpTimer timer(op_stats().lstm_gate, batch * h);
         for (std::size_t r = 0; r < batch; ++r) {
             float *zr = z.row(r);
-            const float *cp = c_prev.row(r);
+            const float *cp = t > 0 ? cs_[t - 1].row(r) : nullptr;
             float *cr = cs_[t].row(r);
             float *hr = hs_[t].row(r);
             for (std::size_t j = 0; j < h; ++j) {
@@ -54,26 +63,26 @@ Lstm::forward(const std::vector<Matrix> &xs, Matrix &h_last)
                 float &gf = zr[h + j];
                 float &gg = zr[2 * h + j];
                 float &go = zr[3 * h + j];
-                gi = 1.0f / (1.0f + std::exp(-gi));
-                gf = 1.0f / (1.0f + std::exp(-gf));
-                gg = std::tanh(gg);
-                go = 1.0f / (1.0f + std::exp(-go));
-                cr[j] = gf * cp[j] + gi * gg;
+                gi = 1.0f / (1.0f + std::exp(-(gi + bias[j])));
+                gf = 1.0f / (1.0f + std::exp(-(gf + bias[h + j])));
+                gg = std::tanh(gg + bias[2 * h + j]);
+                go = 1.0f / (1.0f + std::exp(-(go + bias[3 * h + j])));
+                cr[j] = gi * gg + (cp ? gf * cp[j] : 0.0f);
                 hr[j] = go * std::tanh(cr[j]);
             }
         }
-        c_prev = cs_[t];
-        h_prev = hs_[t];
     }
-    h_last = hs_.back();
+    h_last = hs_[T - 1];
 }
 
 void
 Lstm::backward(const Matrix &dh_last, std::vector<Matrix> &dxs)
 {
-    const std::size_t T = xs_.size();
-    assert(T > 0);
-    const std::size_t batch = xs_[0].rows();
+    assert(xs_ != nullptr && steps_ > 0);
+    const std::vector<Matrix> &xs = *xs_;
+    const std::size_t T = steps_;
+    assert(xs.size() == T);
+    const std::size_t batch = xs[0].rows();
     const std::size_t h = hidden();
     assert(dh_last.rows() == batch && dh_last.cols() == h);
 
@@ -87,42 +96,44 @@ Lstm::backward(const Matrix &dh_last, std::vector<Matrix> &dxs)
         const Matrix &c = cs_[t];
         const Matrix *c_prev = t > 0 ? &cs_[t - 1] : nullptr;
 
-        for (std::size_t r = 0; r < batch; ++r) {
-            const float *zr = gates.row(r);
-            const float *cr = c.row(r);
-            const float *cpr = c_prev ? c_prev->row(r) : nullptr;
-            const float *dhr = dh.row(r);
-            float *dcr = dc.row(r);
-            float *dzr = dz.row(r);
-            for (std::size_t j = 0; j < h; ++j) {
-                const float gi = zr[j];
-                const float gf = zr[h + j];
-                const float gg = zr[2 * h + j];
-                const float go = zr[3 * h + j];
-                const float tc = std::tanh(cr[j]);
-                const float d_h = dhr[j];
-                const float d_o = d_h * tc;
-                float d_c = dcr[j] + d_h * go * (1.0f - tc * tc);
-                const float d_i = d_c * gg;
-                const float d_f = d_c * (cpr ? cpr[j] : 0.0f);
-                const float d_g = d_c * gi;
-                dcr[j] = d_c * gf;  // flows to step t-1
-                dzr[j] = d_i * gi * (1.0f - gi);
-                dzr[h + j] = d_f * gf * (1.0f - gf);
-                dzr[2 * h + j] = d_g * (1.0f - gg * gg);
-                dzr[3 * h + j] = d_o * go * (1.0f - go);
+        {
+            ScopedOpTimer timer(op_stats().lstm_gate, batch * h);
+            for (std::size_t r = 0; r < batch; ++r) {
+                const float *zr = gates.row(r);
+                const float *cr = c.row(r);
+                const float *cpr = c_prev ? c_prev->row(r) : nullptr;
+                const float *dhr = dh.row(r);
+                float *dcr = dc.row(r);
+                float *dzr = dz.row(r);
+                for (std::size_t j = 0; j < h; ++j) {
+                    const float gi = zr[j];
+                    const float gf = zr[h + j];
+                    const float gg = zr[2 * h + j];
+                    const float go = zr[3 * h + j];
+                    const float tc = std::tanh(cr[j]);
+                    const float d_h = dhr[j];
+                    const float d_o = d_h * tc;
+                    float d_c = dcr[j] + d_h * go * (1.0f - tc * tc);
+                    const float d_i = d_c * gg;
+                    const float d_f = d_c * (cpr ? cpr[j] : 0.0f);
+                    const float d_g = d_c * gi;
+                    dcr[j] = d_c * gf;  // flows to step t-1
+                    dzr[j] = d_i * gi * (1.0f - gi);
+                    dzr[h + j] = d_f * gf * (1.0f - gf);
+                    dzr[2 * h + j] = d_g * (1.0f - gg * gg);
+                    dzr[3 * h + j] = d_o * go * (1.0f - go);
+                }
             }
         }
 
-        gemm_tn(xs_[t], dz, wx_.grad);
+        gemm_tn(xs[t], dz, wx_.grad);
         bias_backward(dz, b_.grad);
         dxs[t].resize(batch, in_dim());
         gemm_nt(dz, wx_.value, dxs[t]);
 
         if (t > 0) {
             gemm_tn(hs_[t - 1], dz, wh_.grad);
-            dh.resize(batch, h);
-            dh.zero();
+            dh.resize(batch, h);  // zero-fills: gemm_nt accumulates
             gemm_nt(dz, wh_.value, dh);
         }
     }

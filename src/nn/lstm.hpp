@@ -22,6 +22,13 @@ class Lstm
 
     /**
      * Run the sequence from zero initial state.
+     *
+     * The input sequence is borrowed, not copied: backward() reads
+     * `xs` through a cached pointer, so the caller must keep `xs`
+     * alive and unmodified until backward() (or the next forward())
+     * — every model in this repo holds the sequence as a member
+     * across the forward/backward pair.
+     *
      * @param xs T inputs of shape (batch, in_dim)
      * @param h_last receives h_T (batch, hidden)
      */
@@ -49,8 +56,11 @@ class Lstm
     Param wh_;  // (H, 4H)
     Param b_;   // (1, 4H)
 
-    // Forward caches (per step).
-    std::vector<Matrix> xs_;
+    // Forward caches. The input sequence is borrowed from the caller
+    // (see forward()); the per-step activation buffers are grown, not
+    // reallocated, across calls — steps_ bounds the live prefix.
+    const std::vector<Matrix> *xs_ = nullptr;
+    std::size_t steps_ = 0;
     std::vector<Matrix> gates_;  // (B, 4H) post-activation [i f g o]
     std::vector<Matrix> cs_;     // (B, H) cell states
     std::vector<Matrix> hs_;     // (B, H) hidden states

@@ -72,6 +72,20 @@ class Matrix
         data_.assign(rows * cols, 0.0f);
     }
 
+    /**
+     * Resize without clearing retained elements; contents are
+     * unspecified. Only for consumers that overwrite every element
+     * (e.g. embedding gather). GEMM outputs must use resize() — the
+     * GEMM kernels accumulate into their output (see ops.hpp).
+     */
+    void
+    resize_uninit(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
     bool operator==(const Matrix &) const = default;
 
   private:

@@ -2,14 +2,75 @@
  * @file
  * Dense kernels: GEMM (with transpose variants), bias/elementwise ops,
  * row softmax and sigmoid. All NN compute funnels through these.
+ *
+ * GEMM contract — ACCUMULATE, not overwrite
+ * -----------------------------------------
+ * All three GEMM variants compute `C += op(A) * op(B)`: they add into
+ * the output and never clear it. Callers must zero (or deliberately
+ * seed) `c` first. `Matrix::resize()` zero-fills, so resizing the
+ * output immediately before the call is sufficient; reusing a buffer
+ * from a previous step without zeroing silently folds stale values
+ * into the product. The accumulate contract is load-bearing: weight
+ * gradients (`Param::grad`) sum contributions across timesteps and
+ * batches by calling GEMM repeatedly on the same output.
+ *
+ * The `gemm_*` entry points run a packed, register-blocked microkernel
+ * (single-core, auto-vectorised); the `gemm_*_ref` functions keep the
+ * seed's naive loops as a slow, independently-written reference for
+ * equivalence tests and speedup baselines.
  */
 #pragma once
+
+#include <cstdint>
 
 #include "nn/matrix.hpp"
 
 namespace voyager::nn {
 
-/** C += A * B.  A:(m,k) B:(k,n) C:(m,n). */
+/** Running totals for one kernel class. */
+struct OpClassStats
+{
+    std::uint64_t calls = 0;
+    /** FLOPs for GEMM (2mnk); processed elements for pointwise ops. */
+    std::uint64_t work = 0;
+    /** Wall-clock seconds spent inside the kernels. */
+    double seconds = 0.0;
+};
+
+/**
+ * Op-level counters for the NN hot path. Cheap enough to stay always
+ * on (two clock reads per call, micro-seconds-scale kernels); gives
+ * every bench and future perf PR a calls/FLOPs/seconds baseline per
+ * op class. Reset before a measured region, read after.
+ */
+struct OpStats
+{
+    OpClassStats gemm;       ///< all gemm_nn/tn/nt calls
+    OpClassStats lstm_gate;  ///< fused LSTM gate pointwise pass
+    OpClassStats attention;  ///< MoE attention forward/backward
+
+    void reset() { *this = OpStats(); }
+};
+
+/** Process-wide counters (the NN library is single-threaded). */
+OpStats &op_stats();
+
+/** RAII timer charging one kernel invocation to an op class. */
+class ScopedOpTimer
+{
+  public:
+    ScopedOpTimer(OpClassStats &s, std::uint64_t work);
+    ~ScopedOpTimer();
+
+    ScopedOpTimer(const ScopedOpTimer &) = delete;
+    ScopedOpTimer &operator=(const ScopedOpTimer &) = delete;
+
+  private:
+    OpClassStats &s_;
+    double t0_;
+};
+
+/** C += A * B.  A:(m,k) B:(k,n) C:(m,n). Accumulates (see above). */
 void gemm_nn(const Matrix &a, const Matrix &b, Matrix &c);
 
 /** C += A^T * B.  A:(k,m) B:(k,n) C:(m,n). Used for weight grads. */
@@ -17,6 +78,15 @@ void gemm_tn(const Matrix &a, const Matrix &b, Matrix &c);
 
 /** C += A * B^T.  A:(m,k) B:(n,k) C:(m,n). Used for input grads. */
 void gemm_nt(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** Seed-era naive C += A * B; reference for tests and benchmarks. */
+void gemm_nn_ref(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** Seed-era naive C += A^T * B; reference implementation. */
+void gemm_tn_ref(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** Seed-era naive C += A * B^T; reference implementation. */
+void gemm_nt_ref(const Matrix &a, const Matrix &b, Matrix &c);
 
 /** y += x (same shape). */
 void add_inplace(Matrix &y, const Matrix &x);

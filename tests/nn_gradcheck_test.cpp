@@ -129,6 +129,53 @@ TEST(GradCheck, LstmAllParams)
               kTol);
 }
 
+TEST(GradCheck, LstmWideInputNarrowHidden)
+{
+    // in_dim > hidden exercises the non-square GEMM paths (wx is
+    // (7, 16), wh is (4, 16)) that a square configuration can mask.
+    Rng rng(11);
+    const std::size_t T = 3;
+    const std::size_t B = 2;
+    const std::size_t in = 7;
+    const std::size_t H = 4;
+    Lstm lstm(in, H, rng);
+    Linear head(H, 2, rng);
+    std::vector<Matrix> xs(T, Matrix(B, in));
+    for (auto &x : xs)
+        uniform_init(x, 1.0f, rng);
+    const std::vector<std::int32_t> labels = {1, 0};
+
+    auto loss_fn = [&]() {
+        Matrix h;
+        lstm.forward(xs, h);
+        Matrix y;
+        head.forward(h, y);
+        Matrix dl;
+        return softmax_ce_loss(y, labels, dl);
+    };
+
+    Matrix h;
+    lstm.forward(xs, h);
+    Matrix y;
+    head.forward(h, y);
+    Matrix dl;
+    softmax_ce_loss(y, labels, dl);
+    Matrix dh;
+    head.backward(dl, dh);
+    std::vector<Matrix> dxs;
+    lstm.backward(dh, dxs);
+
+    EXPECT_LT(gradient_check(lstm.wx(), loss_fn,
+                             sample_indices(lstm.wx().size(), 16)),
+              kTol);
+    EXPECT_LT(gradient_check(lstm.wh(), loss_fn,
+                             sample_indices(lstm.wh().size(), 16)),
+              kTol);
+    EXPECT_LT(gradient_check(lstm.bias(), loss_fn,
+                             sample_indices(lstm.bias().size(), 8)),
+              kTol);
+}
+
 TEST(GradCheck, LstmInputGradient)
 {
     // Check dL/dx via a param-shaped wrapper: route x through a fake

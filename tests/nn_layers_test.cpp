@@ -11,6 +11,7 @@
 #include "nn/adam.hpp"
 #include "nn/layers.hpp"
 #include "nn/loss.hpp"
+#include "nn/lstm.hpp"
 #include "nn/ops.hpp"
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
@@ -285,6 +286,59 @@ TEST(Serialize, ParamsRoundTripAndValidation)
     save_params(ss2, {&a});
     Matrix wrong(9, 9);
     EXPECT_THROW(load_params(ss2, {&wrong}), std::runtime_error);
+}
+
+TEST(Lstm, CacheReuseAcrossShrinkingSequences)
+{
+    // The forward caches grow but never shrink: running a long
+    // sequence and then a shorter one on the same object must give
+    // exactly the results of a fresh LSTM with identical weights —
+    // stale cached steps beyond the live prefix must not leak into
+    // either the forward pass or backward-through-time.
+    const std::size_t B = 3;
+    const std::size_t in = 4;
+    const std::size_t H = 5;
+    Rng rng_a(12);
+    Rng rng_b(12);
+    Lstm reused(in, H, rng_a);
+    Lstm fresh(in, H, rng_b);
+
+    Rng data_rng(13);
+    std::vector<Matrix> xs_long(6, Matrix(B, in));
+    for (auto &x : xs_long)
+        uniform_init(x, 1.0f, data_rng);
+    std::vector<Matrix> xs_short(3, Matrix(B, in));
+    for (auto &x : xs_short)
+        uniform_init(x, 1.0f, data_rng);
+
+    // Warm the reused object's caches with the long sequence.
+    Matrix h_warm;
+    reused.forward(xs_long, h_warm);
+
+    Matrix h_reused;
+    Matrix h_fresh;
+    reused.forward(xs_short, h_reused);
+    fresh.forward(xs_short, h_fresh);
+    ASSERT_EQ(h_reused.rows(), B);
+    ASSERT_EQ(h_reused.cols(), H);
+    for (std::size_t i = 0; i < h_reused.size(); ++i)
+        ASSERT_EQ(h_reused.data()[i], h_fresh.data()[i]);
+
+    Matrix dh(B, H);
+    uniform_init(dh, 1.0f, data_rng);
+    std::vector<Matrix> dxs_reused;
+    std::vector<Matrix> dxs_fresh;
+    reused.backward(dh, dxs_reused);
+    fresh.backward(dh, dxs_fresh);
+    ASSERT_EQ(dxs_reused.size(), xs_short.size());
+    ASSERT_EQ(dxs_fresh.size(), xs_short.size());
+    for (std::size_t t = 0; t < dxs_reused.size(); ++t)
+        for (std::size_t i = 0; i < dxs_reused[t].size(); ++i)
+            ASSERT_EQ(dxs_reused[t].data()[i], dxs_fresh[t].data()[i]);
+    for (std::size_t i = 0; i < reused.wx().grad.size(); ++i)
+        ASSERT_EQ(reused.wx().grad.data()[i], fresh.wx().grad.data()[i]);
+    for (std::size_t i = 0; i < reused.wh().grad.size(); ++i)
+        ASSERT_EQ(reused.wh().grad.data()[i], fresh.wh().grad.data()[i]);
 }
 
 }  // namespace

@@ -94,6 +94,32 @@ TEST(Ops, GemmNnAccumulates)
     expect_close(c, expect);
 }
 
+TEST(Ops, GemmTnAccumulates)
+{
+    Rng rng(21);
+    const auto a = random_matrix(3, 2, rng);  // (k, m)
+    const auto b = random_matrix(3, 4, rng);  // (k, n)
+    Matrix c(2, 4, 1.0f);
+    gemm_tn(a, b, c);
+    auto expect = naive_gemm(transpose(a), b);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        expect.data()[i] += 1.0f;
+    expect_close(c, expect);
+}
+
+TEST(Ops, GemmNtAccumulates)
+{
+    Rng rng(22);
+    const auto a = random_matrix(2, 3, rng);  // (m, k)
+    const auto b = random_matrix(4, 3, rng);  // (n, k)
+    Matrix c(2, 4, 1.0f);
+    gemm_nt(a, b, c);
+    auto expect = naive_gemm(a, transpose(b));
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        expect.data()[i] += 1.0f;
+    expect_close(c, expect);
+}
+
 TEST(Ops, GemmTnMatchesNaive)
 {
     Rng rng(3);
@@ -112,6 +138,61 @@ TEST(Ops, GemmNtMatchesNaive)
     Matrix c(3, 5);
     gemm_nt(a, b, c);
     expect_close(c, naive_gemm(a, transpose(b)));
+}
+
+/** Relative-error comparison for kernels on larger problems. */
+void
+expect_rel_close(const Matrix &a, const Matrix &b, float rel = 1e-4f)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const float mag = std::max(std::abs(b.data()[i]), 1.0f);
+        ASSERT_NEAR(a.data()[i], b.data()[i], rel * mag)
+            << "at flat index " << i;
+    }
+}
+
+/**
+ * The packed microkernel must agree with the retained naive reference
+ * on shapes that are not multiples of the register tile (MR=8, NR=32):
+ * degenerate dims, odd primes, one-off-a-tile and one-past-a-tile.
+ * C is seeded with random values so accumulation is exercised too.
+ */
+TEST(Ops, GemmKernelsMatchReferenceOnOddShapes)
+{
+    const std::size_t dims[] = {1, 3, 17, 31, 33, 64};
+    Rng rng(42);
+    for (const std::size_t m : dims)
+        for (const std::size_t n : dims)
+            for (const std::size_t k : dims) {
+                const auto a = random_matrix(m, k, rng);
+                const auto b = random_matrix(k, n, rng);
+                const auto at = transpose(a);
+                const auto bt = transpose(b);
+                const auto c0 = random_matrix(m, n, rng);
+
+                Matrix c = c0;
+                Matrix ref = c0;
+                gemm_nn(a, b, c);
+                gemm_nn_ref(a, b, ref);
+                ASSERT_NO_FATAL_FAILURE(expect_rel_close(c, ref))
+                    << "nn m=" << m << " n=" << n << " k=" << k;
+
+                c = c0;
+                ref = c0;
+                gemm_tn(at, b, c);
+                gemm_tn_ref(at, b, ref);
+                ASSERT_NO_FATAL_FAILURE(expect_rel_close(c, ref))
+                    << "tn m=" << m << " n=" << n << " k=" << k;
+
+                c = c0;
+                ref = c0;
+                gemm_nt(a, bt, c);
+                gemm_nt_ref(a, bt, ref);
+                ASSERT_NO_FATAL_FAILURE(expect_rel_close(c, ref))
+                    << "nt m=" << m << " n=" << n << " k=" << k;
+            }
 }
 
 TEST(Ops, AddAxpyScale)

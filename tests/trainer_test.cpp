@@ -107,6 +107,40 @@ TEST(OnlineProtocol, TrainsEveryEpoch)
     EXPECT_EQ(res.predicted_samples, 400u);
 }
 
+TEST(OnlineProtocol, BalancedEpochsWhenStreamNotDivisible)
+{
+    // 9 samples over 4 epochs must yield 4 non-empty epochs of sizes
+    // {3, 2, 2, 2} — the old ceil-division split ({3, 3, 3, 0}) ran
+    // one epoch fewer than configured and trained nothing in the last.
+    const auto stream = cyclic_stream(9, 3, 8);
+    PeriodicModel m(stream, 3);
+    OnlineTrainConfig cfg;
+    cfg.epochs = 4;
+    const auto res = train_online(m, stream.size(), cfg);
+    EXPECT_EQ(res.epoch_losses.size(), 4u);
+    EXPECT_EQ(m.trained(), 9u);
+    EXPECT_EQ(res.first_predicted_index, 3u);
+    EXPECT_EQ(res.predicted_samples, 6u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(res.predictions[i].empty());
+    for (std::size_t i = 3; i < 9; ++i)
+        EXPECT_FALSE(res.predictions[i].empty());
+}
+
+TEST(OnlineProtocol, StreamShorterThanEpochsClamps)
+{
+    // 3 samples cannot fill 5 epochs: clamp to 3 one-sample epochs.
+    const auto stream = cyclic_stream(3, 3, 9);
+    PeriodicModel m(stream, 3);
+    OnlineTrainConfig cfg;
+    cfg.epochs = 5;
+    const auto res = train_online(m, stream.size(), cfg);
+    EXPECT_EQ(res.epoch_losses.size(), 3u);
+    EXPECT_EQ(m.trained(), 3u);
+    EXPECT_EQ(res.first_predicted_index, 1u);
+    EXPECT_EQ(res.predicted_samples, 2u);
+}
+
 TEST(OnlineProtocol, MaxTrainSamplesCaps)
 {
     const auto stream = cyclic_stream(500, 20, 3);
