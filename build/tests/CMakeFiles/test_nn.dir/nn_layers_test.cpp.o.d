@@ -318,5 +318,5 @@ tests/CMakeFiles/test_nn.dir/nn_layers_test.cpp.o: \
  /root/repo/src/nn/layers.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nn/matrix.hpp \
  /root/repo/src/util/random.hpp /root/repo/src/nn/loss.hpp \
- /root/repo/src/nn/ops.hpp /root/repo/src/nn/quantize.hpp \
- /root/repo/src/nn/serialize.hpp
+ /root/repo/src/nn/lstm.hpp /root/repo/src/nn/ops.hpp \
+ /root/repo/src/nn/quantize.hpp /root/repo/src/nn/serialize.hpp
