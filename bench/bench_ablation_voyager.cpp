@@ -53,6 +53,7 @@ main(int argc, char **argv)
         t.add_row(name, row, 3);
     }
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "ablation");
     std::cout << "\nexpected shape: the page-agnostic (f=0) variant "
                  "suffers from offset aliasing (paper §4.2.1); BCE "
                  "converges more slowly than SoftmaxBest at this scale "

@@ -92,6 +92,9 @@ main(int argc, char **argv)
     std::cout << "\n--- Full Voyager (delta vocabulary erases the "
                  "compulsory slice; cf. mcf in §5.3.1) ---\n";
     full_table.print(std::cout);
+    isb_table.export_stats(ctx.stats(), "fig10.isb");
+    voyager_table.export_stats(ctx.stats(), "fig11.voyager_no_delta");
+    full_table.export_stats(ctx.stats(), "fig11.voyager");
 
     const auto n = static_cast<double>(benchmarks.size());
     std::cout << "\nmean covered: isb " << pct(isb_cov / n)

@@ -70,6 +70,7 @@ main(int argc, char **argv)
         mean.push_back(s / static_cast<double>(benchmarks.size()));
     t.add_row("mean", mean, 3);
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig12");
     std::cout << "\nexpected shape: voyager-global > stms, voyager-pc > "
                  "isb, and dropping the PC-history feature changes "
                  "little (paper Fig. 12).\n";

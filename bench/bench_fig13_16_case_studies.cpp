@@ -73,6 +73,12 @@ run_case(bench::BenchContext &ctx, const std::string &benchmark,
                 : 0.0;
         t.add_row({label, strfmt("%llu", (unsigned long long)loads),
                    pct(isb_frac), pct(v_frac)});
+        const std::string p = "fig13_16." +
+                              stat_name_segment(benchmark) + "." +
+                              stat_name_segment(label);
+        ctx.stats().counter(p + ".llc_loads") = loads;
+        ctx.stats().gauge(p + ".isb_coverage") = isb_frac;
+        ctx.stats().gauge(p + ".voyager_coverage") = v_frac;
     }
     t.print(std::cout);
     std::cout << "\n";

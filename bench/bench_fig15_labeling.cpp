@@ -66,6 +66,7 @@ main(int argc, char **argv)
         mean.push_back(s / static_cast<double>(benchmarks.size()));
     t.add_row("mean", mean, 3);
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig15");
     std::cout << "\nexpected shape (paper Fig. 15): multi-label >= best "
                  "single scheme on average; different benchmarks prefer "
                  "different single schemes.\n";

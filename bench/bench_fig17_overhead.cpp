@@ -63,6 +63,19 @@ main(int argc, char **argv)
                    human_bytes(rep.pruned_int8_bytes),
                    human_bytes(dl_bytes), human_bytes(temporal)});
 
+        const std::string p = "fig17." + stat_name_segment(name);
+        ctx.stats().gauge(p + ".unified") = acc;
+        ctx.stats().gauge(p + ".speedup") = speedup;
+        ctx.stats().gauge(p + ".sparsity") = rep.sparsity;
+        ctx.stats().counter(p + ".dense_fp32_bytes") =
+            rep.dense_fp32_bytes;
+        ctx.stats().counter(p + ".pruned_fp32_bytes") =
+            rep.pruned_fp32_bytes;
+        ctx.stats().counter(p + ".pruned_int8_bytes") =
+            rep.pruned_int8_bytes;
+        ctx.stats().counter(p + ".delta_lstm_bytes") = dl_bytes;
+        ctx.stats().counter(p + ".temporal_table_bytes") = temporal;
+
         // Paper Fig. 17 footnote: efficiency = 1/(1+log10(storage)).
         // Storage counted in KiB and clamped to >= 1 so the score
         // stays in (0, 1] for the sub-MiB models of the small scale.
@@ -98,6 +111,9 @@ main(int argc, char **argv)
     t.print(std::cout);
 
     const auto n = static_cast<double>(benchmarks.size());
+    ctx.stats().gauge("fig17.efficiency.voyager") = sum_eff_voyager / n;
+    ctx.stats().gauge("fig17.efficiency.delta_lstm") = sum_eff_dl / n;
+    ctx.stats().gauge("fig17.efficiency.temporal") = sum_eff_isb / n;
     std::cout << "\nstorage efficiency 1/(1+log10(KiB)): voyager "
               << strfmt("%.2f", sum_eff_voyager / n) << ", delta_lstm "
               << strfmt("%.2f", sum_eff_dl / n) << ", temporal tables "

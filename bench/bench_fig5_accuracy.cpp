@@ -42,6 +42,7 @@ main(int argc, char **argv)
         mean.push_back(s / static_cast<double>(benchmarks.size()));
     t.add_row("mean", mean, 3);
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig5");
     std::cout << "\npaper means: stms/domino/isb/bo ~0.82 band, voyager "
                  "0.902; expected shape: voyager highest.\n";
     return 0;

@@ -41,6 +41,7 @@ main(int argc, char **argv)
         mean.push_back(s / static_cast<double>(benchmarks.size()));
     t.add_row("mean", mean, 3);
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig6");
     std::cout << "\npaper means: isb 0.472, voyager 0.657; expected "
                  "shape: voyager highest coverage.\n";
     return 0;

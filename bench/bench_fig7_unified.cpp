@@ -49,6 +49,7 @@ main(int argc, char **argv)
         mean.push_back(s / static_cast<double>(benchmarks.size()));
     t.add_row("mean", mean, 3);
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig7");
     std::cout << "\npaper means: stms 0.386, domino 0.433, isb 0.511, "
                  "bo 0.288, delta_lstm 0.529, voyager 0.739; search/ads "
                  "rows are where voyager's margin is largest.\n";

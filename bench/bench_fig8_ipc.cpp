@@ -48,6 +48,7 @@ main(int argc, char **argv)
         mean.push_back(s / static_cast<double>(benchmarks.size()));
     t.add_row("mean(speedup)", mean, 3);
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig8");
     std::cout << "\npaper means: stms +14.9%, domino +21.7%, isb +28.2%, "
                  "bo +13.3%, delta_lstm +24.6%, voyager +41.6%.\n";
     return 0;

@@ -52,6 +52,7 @@ main(int argc, char **argv)
         }
     }
     t.print(std::cout);
+    t.export_stats(ctx.stats(), "fig9");
     std::cout << "\nvoyager@1 = " << pct(voyager_d1) << " vs isb@8 = "
               << pct(isb_d8) << ", isb+bo@8 = " << pct(hybrid_d8)
               << "  (paper: voyager@1 > both at degree 8)\n";

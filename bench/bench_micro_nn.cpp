@@ -7,6 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "nn/attention.hpp"
 #include "nn/hierarchical_softmax.hpp"
@@ -15,6 +18,7 @@
 #include "nn/lstm.hpp"
 #include "nn/ops.hpp"
 #include "util/random.hpp"
+#include "util/stat_registry.hpp"
 
 namespace {
 
@@ -322,11 +326,34 @@ report_op_stats()
     }
 }
 
+/**
+ * Strip `--stats_json=`/`--stats_csv=` from argv (google-benchmark
+ * rejects flags it does not know) and return the extracted path.
+ */
+std::string
+extract_flag(int &argc, char **argv, const std::string &flag)
+{
+    const std::string prefix = "--" + flag + "=";
+    std::string value;
+    int w = 0;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            value = arg.substr(prefix.size());
+        else
+            argv[w++] = argv[i];
+    }
+    argc = w;
+    return value;
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
+    const std::string stats_json = extract_flag(argc, argv, "stats_json");
+    const std::string stats_csv = extract_flag(argc, argv, "stats_csv");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -334,5 +361,19 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     report_op_stats();
+
+    if (!stats_json.empty() || !stats_csv.empty()) {
+        voyager::StatRegistry reg;
+        reg.set_meta("bench", "micro_nn");
+        voyager::nn::export_op_stats(reg);
+        if (!stats_json.empty()) {
+            std::ofstream os(stats_json);
+            reg.write_json(os);
+        }
+        if (!stats_csv.empty()) {
+            std::ofstream os(stats_csv);
+            reg.write_csv(os);
+        }
+    }
     return 0;
 }

@@ -6,11 +6,15 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+
 #include "prefetch/registry.hpp"
 #include "sim/cache.hpp"
 #include "sim/dram.hpp"
 #include "sim/hierarchy.hpp"
 #include "util/random.hpp"
+#include "util/stat_registry.hpp"
 
 namespace {
 
@@ -110,6 +114,53 @@ BM_HierarchyAccess(benchmark::State &state)
 }
 BENCHMARK(BM_HierarchyAccess);
 
+/**
+ * Strip `--stats_json=`/`--stats_csv=` from argv (google-benchmark
+ * rejects flags it does not know) and return the extracted path.
+ */
+std::string
+extract_flag(int &argc, char **argv, const std::string &flag)
+{
+    const std::string prefix = "--" + flag + "=";
+    std::string value;
+    int w = 0;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            value = arg.substr(prefix.size());
+        else
+            argv[w++] = argv[i];
+    }
+    argc = w;
+    return value;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const std::string stats_json = extract_flag(argc, argv, "stats_json");
+    const std::string stats_csv = extract_flag(argc, argv, "stats_csv");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Schema-valid document for tooling parity with the figure
+    // binaries; google-benchmark owns the per-kernel numbers.
+    if (!stats_json.empty() || !stats_csv.empty()) {
+        voyager::StatRegistry reg;
+        reg.set_meta("bench", "micro_prefetchers");
+        if (!stats_json.empty()) {
+            std::ofstream os(stats_json);
+            reg.write_json(os);
+        }
+        if (!stats_csv.empty()) {
+            std::ofstream os(stats_csv);
+            reg.write_csv(os);
+        }
+    }
+    return 0;
+}

@@ -18,8 +18,11 @@ main(int argc, char **argv)
     const auto used = ctx.voyager_config(bench::VoyagerVariant{});
 
     Table t({"hyperparameter", "paper", "this run"});
-    auto row = [&t](const std::string &name, double a, double b) {
+    auto row = [&t, &ctx](const std::string &name, double a, double b) {
         t.add_row({name, strfmt("%g", a), strfmt("%g", b)});
+        const std::string p = "table1." + stat_name_segment(name);
+        ctx.stats().gauge(p + ".paper") = a;
+        ctx.stats().gauge(p + ".used") = b;
     };
     row("sequence length", paper.seq_len, used.seq_len);
     row("learning rate", paper.learning_rate, used.learning_rate);

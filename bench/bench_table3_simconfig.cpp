@@ -49,5 +49,25 @@ main(int argc, char **argv)
                       used.core.width, used.core.rob_size,
                       used.core.pipeline_depth)});
     t.print(std::cout);
+
+    auto cache_stats = [&ctx](const std::string &p,
+                              const sim::CacheConfig &c) {
+        ctx.stats().counter("table3." + p + ".size_bytes") =
+            c.size_bytes;
+        ctx.stats().counter("table3." + p + ".assoc") = c.assoc;
+        ctx.stats().counter("table3." + p + ".latency") = c.latency;
+    };
+    cache_stats("l1", used.hierarchy.l1);
+    cache_stats("l2", used.hierarchy.l2);
+    cache_stats("llc", used.hierarchy.llc);
+    ctx.stats().counter("table3.dram.channels") = ud.channels;
+    ctx.stats().counter("table3.dram.ranks") = ud.ranks;
+    ctx.stats().counter("table3.dram.banks") = ud.banks;
+    ctx.stats().counter("table3.dram.rows") = ud.rows;
+    ctx.stats().counter("table3.dram.t_rp") = ud.t_rp;
+    ctx.stats().counter("table3.core.width") = used.core.width;
+    ctx.stats().counter("table3.core.rob_size") = used.core.rob_size;
+    ctx.stats().counter("table3.core.pipeline_depth") =
+        used.core.pipeline_depth;
     return 0;
 }

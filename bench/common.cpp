@@ -3,7 +3,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
+#include "nn/ops.hpp"
 #include "prefetch/registry.hpp"
 #include "util/string_util.hpp"
 
@@ -57,6 +59,55 @@ BenchContext::BenchContext(int argc, const char *const *argv,
         "llc_cap", scale_ == Scale::Paper ? 0 : 20000);
     cache_dir_ = cfg_.get_string("cache_dir", "bench_cache");
     use_cache_ = !cfg_.get_bool("no_cache", false);
+    stats_json_path_ = cfg_.get_string("stats_json", "");
+    stats_csv_path_ = cfg_.get_string("stats_csv", "");
+    start_time_ = std::chrono::steady_clock::now();
+
+    const char *scale_name = scale_ == Scale::Paper  ? "paper"
+                           : scale_ == Scale::Small ? "small"
+                                                    : "tiny";
+    stats_.set_meta("bench", bench_name_);
+    stats_.set_meta("scale", scale_name);
+    stats_.set_meta("seed", std::to_string(seed_));
+    stats_.set_meta("epochs", std::to_string(epochs_));
+    stats_.set_meta("passes", std::to_string(passes_));
+    stats_.set_meta("max_samples", std::to_string(max_samples_));
+    stats_.set_meta("llc_cap", std::to_string(llc_cap_));
+}
+
+BenchContext::~BenchContext()
+{
+    try {
+        emit_stats();
+    } catch (const std::exception &e) {
+        std::cerr << "stats emission failed: " << e.what() << "\n";
+    }
+}
+
+void
+BenchContext::emit_stats()
+{
+    if (stats_emitted_ ||
+        (stats_json_path_.empty() && stats_csv_path_.empty()))
+        return;
+    stats_emitted_ = true;
+    nn::export_op_stats(stats_);
+    stats_.gauge("wall.seconds", true) =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+            .count();
+    if (!stats_json_path_.empty()) {
+        std::ofstream os(stats_json_path_);
+        if (!os)
+            throw std::runtime_error("cannot open " + stats_json_path_);
+        stats_.write_json(os);
+    }
+    if (!stats_csv_path_.empty()) {
+        std::ofstream os(stats_csv_path_);
+        if (!os)
+            throw std::runtime_error("cannot open " + stats_csv_path_);
+        stats_.write_csv(os);
+    }
 }
 
 std::vector<std::string>
@@ -102,6 +153,14 @@ BenchContext::get_trace(const std::string &benchmark)
                 }
             }
         }
+        const auto ts = t.stats();
+        const std::string p = "trace." + stat_name_segment(benchmark);
+        stats_.counter(p + ".accesses") = ts.accesses;
+        stats_.counter(p + ".instructions") = ts.instructions;
+        stats_.counter(p + ".unique_pcs") = ts.unique_pcs;
+        stats_.counter(p + ".unique_lines") = ts.unique_lines;
+        stats_.counter(p + ".unique_pages") = ts.unique_pages;
+        stats_.gauge(p + ".load_fraction") = ts.load_fraction;
         it = traces_.emplace(benchmark, std::move(t)).first;
     }
     return it->second;
@@ -133,6 +192,8 @@ BenchContext::get_stream(const std::string &benchmark)
         } else {
             stream = sim::extract_llc_stream(get_trace(benchmark), sim_);
         }
+        stats_.counter("trace." + stat_name_segment(benchmark) +
+                       ".llc_stream_len") = stream.size();
         it = streams_.emplace(benchmark, std::move(stream)).first;
     }
     return it->second;
@@ -303,10 +364,13 @@ BenchContext::voyager_result(const std::string &benchmark,
         vocab_cfg.use_deltas = variant.use_deltas;
         core::VoyagerAdapter adapter(voyager_config(variant), stream,
                                      vocab_cfg);
+        StatRegistry::ScopedTimer timer(stats_, "time.train");
         res = core::train_online(adapter, stream.size(),
                                  train_config(kNeuralDegree));
         store_cached(key, *res);
     }
+    res->export_stats(stats_, "train." + stat_name_segment(benchmark) +
+                                  "." + stat_name_segment(variant.name));
     if (degree < kNeuralDegree)
         res->predictions = slice_degree(res->predictions, degree);
     return *res;
@@ -322,10 +386,13 @@ BenchContext::delta_lstm_result(const std::string &benchmark,
     if (!res) {
         const auto &stream = get_stream(benchmark);
         core::DeltaLstmAdapter adapter(delta_lstm_config(), stream);
+        StatRegistry::ScopedTimer timer(stats_, "time.train");
         res = core::train_online(adapter, stream.size(),
                                  train_config(kNeuralDegree));
         store_cached(key, *res);
     }
+    res->export_stats(stats_, "train." + stat_name_segment(benchmark) +
+                                  ".delta_lstm");
     if (degree < kNeuralDegree)
         res->predictions = slice_degree(res->predictions, degree);
     return *res;
@@ -365,7 +432,17 @@ BenchContext::run_rule(const std::string &benchmark,
                        const std::string &prefetcher, std::uint32_t degree)
 {
     auto pf = prefetch::make_prefetcher(prefetcher, degree);
-    return sim::simulate(get_trace(benchmark), sim_, *pf);
+    sim::SimResult r;
+    {
+        StatRegistry::ScopedTimer timer(stats_, "time.sim");
+        r = sim::simulate(get_trace(benchmark), sim_, *pf);
+    }
+    const std::string prefix = "sim." + stat_name_segment(benchmark) +
+                               "." + stat_name_segment(prefetcher) +
+                               ".d" + std::to_string(degree);
+    r.export_stats(stats_, prefix);
+    pf->export_stats(stats_, prefix);
+    return r;
 }
 
 sim::SimResult
@@ -375,14 +452,30 @@ BenchContext::run_replay(const std::string &benchmark,
                          std::uint64_t storage_bytes)
 {
     sim::ReplayPrefetcher replay(display_name, preds, storage_bytes);
-    return sim::simulate(get_trace(benchmark), sim_, replay);
+    sim::SimResult r;
+    {
+        StatRegistry::ScopedTimer timer(stats_, "time.sim");
+        r = sim::simulate(get_trace(benchmark), sim_, replay);
+    }
+    const std::string prefix = "sim." + stat_name_segment(benchmark) +
+                               "." + stat_name_segment(display_name);
+    r.export_stats(stats_, prefix);
+    replay.export_stats(stats_, prefix);
+    return r;
 }
 
 sim::SimResult
 BenchContext::run_baseline(const std::string &benchmark)
 {
     sim::NullPrefetcher none;
-    return sim::simulate(get_trace(benchmark), sim_, none);
+    sim::SimResult r;
+    {
+        StatRegistry::ScopedTimer timer(stats_, "time.sim");
+        r = sim::simulate(get_trace(benchmark), sim_, none);
+    }
+    r.export_stats(stats_,
+                   "sim." + stat_name_segment(benchmark) + ".none");
+    return r;
 }
 
 core::UnifiedMetric

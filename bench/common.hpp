@@ -15,9 +15,13 @@
  *   --llc_cap=N                cap on evaluated LLC accesses (0 = off)
  *   --cache_dir=PATH           neural-result cache (default bench_cache)
  *   --no_cache                 recompute everything
+ *   --stats_json=PATH          emit the run's StatRegistry as JSON
+ *                              (versioned schema, DESIGN.md §5.11)
+ *   --stats_csv=PATH           same, flat CSV
  */
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +31,7 @@
 #include "sim/simulator.hpp"
 #include "trace/gen/workloads.hpp"
 #include "util/config.hpp"
+#include "util/stat_registry.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -61,10 +66,29 @@ class BenchContext
     BenchContext(int argc, const char *const *argv,
                  const std::string &bench_name);
 
+    /** Emits --stats_json/--stats_csv if not already written. */
+    ~BenchContext();
+
     Scale scale() const { return scale_; }
     const sim::SimConfig &sim_config() const { return sim_; }
     std::uint64_t seed() const { return seed_; }
     const Config &raw() const { return cfg_; }
+
+    /**
+     * The run's stat registry. Every simulator run, neural training
+     * and trace build auto-records here (`sim.*`, `train.*`,
+     * `trace.*`, `time.*`); binaries add their figure/table series
+     * (usually via Table::export_stats) before main returns.
+     */
+    StatRegistry &stats() { return stats_; }
+
+    /**
+     * Write the stats document(s) named by --stats_json/--stats_csv
+     * (appending nn op counters and total wall time first). Called by
+     * the destructor; call explicitly to flush earlier. No-op when
+     * neither flag was given or after the first call.
+     */
+    void emit_stats();
 
     /** Benchmarks to run: --benchmarks filter applied to `defaults`. */
     std::vector<std::string>
@@ -163,6 +187,12 @@ class BenchContext
 
     std::map<std::string, trace::Trace> traces_;
     std::map<std::string, std::vector<LlcAccess>> streams_;
+
+    StatRegistry stats_;
+    std::string stats_json_path_;
+    std::string stats_csv_path_;
+    bool stats_emitted_ = false;
+    std::chrono::steady_clock::time_point start_time_;
 };
 
 /** Neural models always predict at this degree; lower degrees replay

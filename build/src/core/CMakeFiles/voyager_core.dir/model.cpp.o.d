@@ -200,13 +200,24 @@ src/core/CMakeFiles/voyager_core.dir/model.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/labeler.hpp \
  /usr/include/c++/12/array /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sim/prefetcher.hpp /root/repo/src/util/types.hpp \
- /root/repo/src/nn/adam.hpp /root/repo/src/nn/layers.hpp \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
+ /root/repo/src/sim/prefetcher.hpp /root/repo/src/util/stat_registry.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_set.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/nn/matrix.hpp \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/util/types.hpp \
+ /root/repo/src/nn/adam.hpp /root/repo/src/nn/layers.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nn/matrix.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/util/random.hpp \
  /root/repo/src/nn/attention.hpp /root/repo/src/nn/lstm.hpp \

@@ -210,6 +210,14 @@ src/core/CMakeFiles/voyager_core.dir/trainer.cpp.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstddef /root/repo/src/util/random.hpp \
  /root/repo/src/nn/lstm.hpp /root/repo/src/sim/prefetcher.hpp \
+ /root/repo/src/util/stat_registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hpp \
  /root/repo/src/util/types.hpp /root/repo/src/core/labeler.hpp \
  /usr/include/c++/12/array /root/repo/src/core/model.hpp \
  /root/repo/src/nn/attention.hpp /root/repo/src/core/vocab.hpp \
@@ -219,10 +227,4 @@ src/core/CMakeFiles/voyager_core.dir/trainer.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

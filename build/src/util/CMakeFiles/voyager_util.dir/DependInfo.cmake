@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/config.cpp" "src/util/CMakeFiles/voyager_util.dir/config.cpp.o" "gcc" "src/util/CMakeFiles/voyager_util.dir/config.cpp.o.d"
   "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/voyager_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/voyager_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/stat_registry.cpp" "src/util/CMakeFiles/voyager_util.dir/stat_registry.cpp.o" "gcc" "src/util/CMakeFiles/voyager_util.dir/stat_registry.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/voyager_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/voyager_util.dir/stats.cpp.o.d"
   "/root/repo/src/util/string_util.cpp" "src/util/CMakeFiles/voyager_util.dir/string_util.cpp.o" "gcc" "src/util/CMakeFiles/voyager_util.dir/string_util.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/voyager_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/voyager_util.dir/table.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/voyager_util.dir/config.cpp.o.d"
   "CMakeFiles/voyager_util.dir/random.cpp.o"
   "CMakeFiles/voyager_util.dir/random.cpp.o.d"
+  "CMakeFiles/voyager_util.dir/stat_registry.cpp.o"
+  "CMakeFiles/voyager_util.dir/stat_registry.cpp.o.d"
   "CMakeFiles/voyager_util.dir/stats.cpp.o"
   "CMakeFiles/voyager_util.dir/stats.cpp.o.d"
   "CMakeFiles/voyager_util.dir/string_util.cpp.o"

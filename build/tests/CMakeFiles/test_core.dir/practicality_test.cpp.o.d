@@ -316,8 +316,11 @@ tests/CMakeFiles/test_core.dir/practicality_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/distilled.hpp /root/repo/src/sim/prefetcher.hpp \
- /root/repo/src/util/types.hpp /root/repo/src/nn/adam.hpp \
- /root/repo/src/nn/layers.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/util/stat_registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/types.hpp \
+ /root/repo/src/nn/adam.hpp /root/repo/src/nn/layers.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nn/matrix.hpp \
  /root/repo/src/util/random.hpp /root/repo/src/nn/gradcheck.hpp \
  /root/repo/src/nn/hierarchical_softmax.hpp

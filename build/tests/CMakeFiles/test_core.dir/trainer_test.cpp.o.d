@@ -294,9 +294,12 @@ tests/CMakeFiles/test_core.dir/trainer_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/metrics.hpp /root/repo/src/sim/prefetcher.hpp \
- /root/repo/src/util/types.hpp /root/repo/src/core/trainer.hpp \
- /root/repo/src/core/delta_lstm.hpp /root/repo/src/nn/adam.hpp \
- /root/repo/src/nn/layers.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/util/stat_registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/types.hpp \
+ /root/repo/src/core/trainer.hpp /root/repo/src/core/delta_lstm.hpp \
+ /root/repo/src/nn/adam.hpp /root/repo/src/nn/layers.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nn/matrix.hpp \
  /root/repo/src/util/random.hpp /root/repo/src/nn/lstm.hpp \
  /root/repo/src/core/labeler.hpp /root/repo/src/core/model.hpp \

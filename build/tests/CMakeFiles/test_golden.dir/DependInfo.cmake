@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/golden_determinism_test.cpp" "tests/CMakeFiles/test_golden.dir/golden_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_golden.dir/golden_determinism_test.cpp.o.d"
+  "/root/repo/tests/golden_stats_test.cpp" "tests/CMakeFiles/test_golden.dir/golden_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_golden.dir/golden_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/voyager_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/voyager_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/voyager_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/voyager_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/voyager_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/voyager_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden.dir/golden_determinism_test.cpp.o"
+  "CMakeFiles/test_golden.dir/golden_determinism_test.cpp.o.d"
+  "CMakeFiles/test_golden.dir/golden_stats_test.cpp.o"
+  "CMakeFiles/test_golden.dir/golden_stats_test.cpp.o.d"
+  "test_golden"
+  "test_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/nn_gradcheck_test.cpp" "tests/CMakeFiles/test_nn.dir/nn_gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn_gradcheck_test.cpp.o.d"
   "/root/repo/tests/nn_layers_test.cpp" "tests/CMakeFiles/test_nn.dir/nn_layers_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn_layers_test.cpp.o.d"
   "/root/repo/tests/nn_ops_test.cpp" "tests/CMakeFiles/test_nn.dir/nn_ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn_ops_test.cpp.o.d"
+  "/root/repo/tests/nn_serialize_test.cpp" "tests/CMakeFiles/test_nn.dir/nn_serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn_serialize_test.cpp.o.d"
   "/root/repo/tests/nn_train_test.cpp" "tests/CMakeFiles/test_nn.dir/nn_train_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn_train_test.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_nn.dir/nn_layers_test.cpp.o.d"
   "CMakeFiles/test_nn.dir/nn_ops_test.cpp.o"
   "CMakeFiles/test_nn.dir/nn_ops_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn_serialize_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn_serialize_test.cpp.o.d"
   "CMakeFiles/test_nn.dir/nn_train_test.cpp.o"
   "CMakeFiles/test_nn.dir/nn_train_test.cpp.o.d"
   "test_nn"

@@ -319,4 +319,7 @@ tests/CMakeFiles/test_nn.dir/nn_layers_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/nn/matrix.hpp \
  /root/repo/src/util/random.hpp /root/repo/src/nn/loss.hpp \
  /root/repo/src/nn/lstm.hpp /root/repo/src/nn/ops.hpp \
- /root/repo/src/nn/quantize.hpp /root/repo/src/nn/serialize.hpp
+ /root/repo/src/util/stat_registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/stats.hpp /root/repo/src/nn/quantize.hpp \
+ /root/repo/src/nn/serialize.hpp

@@ -315,4 +315,7 @@ tests/CMakeFiles/test_nn.dir/nn_ops_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/matrix.hpp \
- /root/repo/src/nn/ops.hpp /root/repo/src/util/random.hpp
+ /root/repo/src/nn/ops.hpp /root/repo/src/util/stat_registry.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/util/stats.hpp \
+ /root/repo/src/util/random.hpp

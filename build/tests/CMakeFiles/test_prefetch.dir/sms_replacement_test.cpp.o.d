@@ -294,10 +294,13 @@ tests/CMakeFiles/test_prefetch.dir/sms_replacement_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/prefetch/registry.hpp /root/repo/src/sim/prefetcher.hpp \
- /root/repo/src/util/types.hpp /root/repo/src/sim/simulator.hpp \
- /root/repo/src/sim/core_model.hpp /root/repo/src/sim/hierarchy.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/cache.hpp \
- /root/repo/src/sim/dram.hpp /root/repo/src/trace/access.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/prefetch/sms.hpp
+ /root/repo/src/util/stat_registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/types.hpp \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/sim/core_model.hpp \
+ /root/repo/src/sim/hierarchy.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/cache.hpp /root/repo/src/sim/dram.hpp \
+ /root/repo/src/trace/access.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/prefetch/sms.hpp

@@ -293,4 +293,7 @@ tests/CMakeFiles/test_sim.dir/cache_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/cache.hpp /root/repo/src/util/types.hpp
+ /root/repo/src/sim/cache.hpp /root/repo/src/util/stat_registry.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/util/stats.hpp \
+ /root/repo/src/util/types.hpp

@@ -294,11 +294,13 @@ tests/CMakeFiles/test_sim.dir/core_model_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/prefetch/stride.hpp /root/repo/src/sim/prefetcher.hpp \
- /root/repo/src/util/types.hpp /root/repo/src/util/random.hpp \
- /root/repo/src/sim/core_model.hpp /root/repo/src/sim/hierarchy.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/cache.hpp \
- /root/repo/src/sim/dram.hpp /root/repo/src/trace/access.hpp \
- /root/repo/src/trace/trace.hpp /root/repo/src/sim/simulator.hpp \
- /root/repo/src/trace/gen/recorder.hpp
+ /root/repo/src/util/stat_registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/stats.hpp /root/repo/src/util/types.hpp \
+ /root/repo/src/util/random.hpp /root/repo/src/sim/core_model.hpp \
+ /root/repo/src/sim/hierarchy.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/cache.hpp /root/repo/src/sim/dram.hpp \
+ /root/repo/src/trace/access.hpp /root/repo/src/trace/trace.hpp \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/trace/gen/recorder.hpp

@@ -296,7 +296,10 @@ tests/CMakeFiles/test_sim.dir/hierarchy_test.cpp.o: \
  /root/repo/src/sim/hierarchy.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/cache.hpp /root/repo/src/util/types.hpp \
- /root/repo/src/sim/dram.hpp /root/repo/src/sim/prefetcher.hpp \
- /root/repo/src/trace/access.hpp /root/repo/src/sim/simulator.hpp \
- /root/repo/src/sim/core_model.hpp /root/repo/src/trace/trace.hpp
+ /root/repo/src/sim/cache.hpp /root/repo/src/util/stat_registry.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/util/stats.hpp \
+ /root/repo/src/util/types.hpp /root/repo/src/sim/dram.hpp \
+ /root/repo/src/sim/prefetcher.hpp /root/repo/src/trace/access.hpp \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/sim/core_model.hpp \
+ /root/repo/src/trace/trace.hpp

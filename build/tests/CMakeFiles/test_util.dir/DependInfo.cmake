@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stat_registry_test.cpp" "tests/CMakeFiles/test_util.dir/stat_registry_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/stat_registry_test.cpp.o.d"
   "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/test_util.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util_test.cpp.o.d"
   )
 

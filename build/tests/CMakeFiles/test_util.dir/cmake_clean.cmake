@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/stat_registry_test.cpp.o"
+  "CMakeFiles/test_util.dir/stat_registry_test.cpp.o.d"
   "CMakeFiles/test_util.dir/util_test.cpp.o"
   "CMakeFiles/test_util.dir/util_test.cpp.o.d"
   "test_util"

@@ -11,3 +11,9 @@ include("/root/repo/build/tests/test_prefetch[1]_include.cmake")
 include("/root/repo/build/tests/test_nn[1]_include.cmake")
 include("/root/repo/build/tests/test_property[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
+add_test(GoldenDeterminism "/root/repo/build/tests/test_golden" "--gtest_filter=GoldenDeterminism.*")
+set_tests_properties(GoldenDeterminism PROPERTIES  LABELS "tier1;tier2" SKIP_REGULAR_EXPRESSION "\\[  SKIPPED \\]" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(GoldenStats "/root/repo/build/tests/test_golden" "--gtest_filter=GoldenStats.*")
+set_tests_properties(GoldenStats PROPERTIES  LABELS "tier1;tier2" SKIP_REGULAR_EXPRESSION "\\[  SKIPPED \\]" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stats_schema_validates "/usr/bin/cmake" "-DBENCH=/root/repo/build/bench/bench_table1_hparams" "-DVALIDATOR=/root/repo/tools/check_stats_schema.py" "-DPYTHON=/root/.pyenv/shims/python3" "-DOUT=/root/repo/build/tests/schema_check.json" "-P" "/root/repo/tests/run_schema_check.cmake")
+set_tests_properties(stats_schema_validates PROPERTIES  LABELS "tier1;tier2" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")

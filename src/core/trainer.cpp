@@ -20,6 +20,28 @@ seconds_since(std::chrono::steady_clock::time_point t0)
 
 }  // namespace
 
+void
+OnlineResult::export_stats(StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + ".samples.trained") = trained_samples;
+    reg.counter(prefix + ".samples.predicted") = predicted_samples;
+    reg.counter(prefix + ".first_predicted_index") =
+        first_predicted_index;
+    reg.counter(prefix + ".epochs") = epoch_losses.size();
+    for (std::size_t e = 0; e < epoch_losses.size(); ++e)
+        reg.gauge(prefix + ".epoch" + std::to_string(e) + ".loss") =
+            epoch_losses[e];
+    if (!epoch_losses.empty())
+        reg.gauge(prefix + ".final_loss") = epoch_losses.back();
+    RunningStat &loss = reg.running(prefix + ".epoch_loss");
+    if (loss.count() == 0)
+        for (const double l : epoch_losses)
+            loss.add(l);
+    reg.gauge(prefix + ".train_seconds", true) = train_seconds;
+    reg.gauge(prefix + ".inference_seconds", true) = inference_seconds;
+}
+
 OnlineResult
 train_online(SequenceModel &model, std::size_t stream_size,
              const OnlineTrainConfig &cfg)

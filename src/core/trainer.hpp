@@ -20,6 +20,7 @@
 #include "core/model.hpp"
 #include "core/vocab.hpp"
 #include "sim/prefetcher.hpp"
+#include "util/stat_registry.hpp"
 
 namespace voyager::core {
 
@@ -75,6 +76,17 @@ struct OnlineResult
     double inference_seconds = 0.0;
     std::uint64_t trained_samples = 0;
     std::uint64_t predicted_samples = 0;
+
+    /**
+     * Export into `reg` under `<prefix>.`: per-epoch losses
+     * (`.epoch<i>.loss` gauges plus a `.epoch_loss` RunningStat),
+     * sample counters, and the wall-clock timings (volatile, so
+     * golden-run comparisons can drop them). Assigns counters/gauges;
+     * the RunningStat is rebuilt only when still empty, keeping
+     * re-export idempotent.
+     */
+    void export_stats(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** Run the train-on-epoch-i / predict-epoch-i+1 protocol. */

@@ -14,6 +14,21 @@ op_stats()
     return stats;
 }
 
+void
+export_op_stats(StatRegistry &reg, const std::string &prefix)
+{
+    const OpStats &s = op_stats();
+    const auto one = [&reg](const std::string &p, const OpClassStats &c,
+                            const char *work_name) {
+        reg.counter(p + ".calls") = c.calls;
+        reg.counter(p + "." + work_name) = c.work;
+        reg.gauge(p + ".seconds", true) = c.seconds;
+    };
+    one(prefix + ".gemm", s.gemm, "flops");
+    one(prefix + ".lstm_gate", s.lstm_gate, "elements");
+    one(prefix + ".attention", s.attention, "elements");
+}
+
 namespace {
 
 double

@@ -22,8 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "nn/matrix.hpp"
+#include "util/stat_registry.hpp"
 
 namespace voyager::nn {
 
@@ -54,6 +56,15 @@ struct OpStats
 
 /** Process-wide counters (the NN library is single-threaded). */
 OpStats &op_stats();
+
+/**
+ * Export the process-wide op counters into `reg` under `<prefix>.`:
+ * `.gemm.calls`, `.gemm.flops`, `.lstm_gate.elements`,
+ * `.attention.elements` plus per-class `.seconds` (volatile). Assigns
+ * the cumulative totals, so re-export is idempotent.
+ */
+void export_op_stats(StatRegistry &reg,
+                     const std::string &prefix = "nn");
 
 /** RAII timer charging one kernel invocation to an op class. */
 class ScopedOpTimer

@@ -113,4 +113,15 @@ BestOffset::storage_bytes() const
     return cfg_.rr_size * 8 + scores_.size() * 2;
 }
 
+void
+BestOffset::export_stats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    Prefetcher::export_stats(reg, prefix);
+    reg.gauge(prefix + ".current_offset") = best_offset_;
+    reg.counter(prefix + ".learning_round") =
+        static_cast<std::uint64_t>(round_ < 0 ? 0 : round_);
+    reg.counter(prefix + ".rr_occupancy") = rr_set_.size();
+}
+
 }  // namespace voyager::prefetch

@@ -44,6 +44,8 @@ class BestOffset final : public Prefetcher
     std::string name() const override { return "bo"; }
     std::vector<Addr> on_access(const sim::LlcAccess &access) override;
     std::uint64_t storage_bytes() const override;
+    void export_stats(StatRegistry &reg,
+                      const std::string &prefix) const override;
 
     /** Currently adopted offset (0 = prefetching off). */
     int current_offset() const { return best_offset_; }

@@ -82,4 +82,13 @@ Isb::storage_bytes() const
            last_by_pc_.size() * 16;
 }
 
+void
+Isb::export_stats(StatRegistry &reg, const std::string &prefix) const
+{
+    Prefetcher::export_stats(reg, prefix);
+    reg.counter(prefix + ".streams") = num_streams();
+    reg.counter(prefix + ".mappings") = phys_to_struct_.size();
+    reg.counter(prefix + ".training_units") = last_by_pc_.size();
+}
+
 }  // namespace voyager::prefetch

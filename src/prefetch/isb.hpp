@@ -33,6 +33,8 @@ class Isb final : public Prefetcher
     std::string name() const override { return "isb"; }
     std::vector<Addr> on_access(const sim::LlcAccess &access) override;
     std::uint64_t storage_bytes() const override;
+    void export_stats(StatRegistry &reg,
+                      const std::string &prefix) const override;
 
     /** Number of allocated structural streams (for tests/diagnostics). */
     std::uint64_t num_streams() const { return next_stream_base_ / chunk_; }

@@ -34,4 +34,12 @@ Stms::storage_bytes() const
     return history_.size() * 8 + index_.size() * 16;
 }
 
+void
+Stms::export_stats(StatRegistry &reg, const std::string &prefix) const
+{
+    Prefetcher::export_stats(reg, prefix);
+    reg.counter(prefix + ".history_entries") = history_.size();
+    reg.counter(prefix + ".index_entries") = index_.size();
+}
+
 }  // namespace voyager::prefetch

@@ -28,6 +28,8 @@ class Stms final : public Prefetcher
     std::string name() const override { return "stms"; }
     std::vector<Addr> on_access(const sim::LlcAccess &access) override;
     std::uint64_t storage_bytes() const override;
+    void export_stats(StatRegistry &reg,
+                      const std::string &prefix) const override;
 
   private:
     std::uint32_t degree_;

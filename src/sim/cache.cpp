@@ -130,4 +130,18 @@ Cache::invalidate(Addr line)
     return false;
 }
 
+void
+export_cache_stats(StatRegistry &reg, const std::string &prefix,
+                   const CacheStats &s)
+{
+    reg.counter(prefix + ".accesses") = s.accesses;
+    reg.counter(prefix + ".hits") = s.hits;
+    reg.counter(prefix + ".misses") = s.misses;
+    reg.counter(prefix + ".prefetch_fills") = s.prefetch_fills;
+    reg.counter(prefix + ".useful_prefetches") = s.useful_prefetches;
+    reg.counter(prefix + ".evicted_unused_prefetches") =
+        s.evicted_unused_prefetches;
+    reg.gauge(prefix + ".miss_rate") = s.miss_rate();
+}
+
 }  // namespace voyager::sim

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/stat_registry.hpp"
 #include "util/types.hpp"
 
 namespace voyager::sim {
@@ -54,6 +55,10 @@ struct CacheStats
                         : 0.0;
     }
 };
+
+/** Export one level's counters into `reg` under `<prefix>.`. */
+void export_cache_stats(StatRegistry &reg, const std::string &prefix,
+                        const CacheStats &s);
 
 /**
  * A set-associative cache over line addresses with true-LRU

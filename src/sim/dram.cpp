@@ -55,4 +55,16 @@ Dram::access(Addr line, Cycle now)
     return latency;
 }
 
+void
+export_dram_stats(StatRegistry &reg, const std::string &prefix,
+                  const DramStats &s)
+{
+    reg.counter(prefix + ".requests") = s.requests;
+    reg.counter(prefix + ".row_hits") = s.row_hits;
+    reg.counter(prefix + ".row_misses") = s.row_misses;
+    reg.counter(prefix + ".total_latency") = s.total_latency;
+    reg.gauge(prefix + ".row_hit_rate") = s.row_hit_rate();
+    reg.gauge(prefix + ".avg_latency") = s.avg_latency();
+}
+
 }  // namespace voyager::sim

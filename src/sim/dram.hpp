@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "util/stat_registry.hpp"
 #include "util/types.hpp"
 
 namespace voyager::sim {
@@ -53,6 +55,10 @@ struct DramStats
                         : 0.0;
     }
 };
+
+/** Export DRAM counters into `reg` under `<prefix>.`. */
+void export_dram_stats(StatRegistry &reg, const std::string &prefix,
+                       const DramStats &s);
 
 /**
  * Open-page DRAM model. Each request is mapped to a (channel, rank,

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "util/stat_registry.hpp"
 #include "util/types.hpp"
 
 namespace voyager::sim {
@@ -50,6 +51,18 @@ class Prefetcher
      * implementation would store.
      */
     virtual std::uint64_t storage_bytes() const { return 0; }
+
+    /**
+     * Export internal state into `reg` under `<prefix>.`. The base
+     * implementation records the storage footprint; concrete
+     * prefetchers add their table occupancies and learned parameters.
+     * Exports assign (idempotent re-export).
+     */
+    virtual void
+    export_stats(StatRegistry &reg, const std::string &prefix) const
+    {
+        reg.counter(prefix + ".storage_bytes") = storage_bytes();
+    }
 };
 
 /** A prefetcher that never prefetches (the no-prefetch baseline). */

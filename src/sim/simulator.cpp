@@ -69,9 +69,35 @@ simulate(const trace::Trace &trace, const SimConfig &cfg,
     r.prefetches_issued = mem.prefetch_counters().issued;
     r.prefetches_useful = mem.useful_prefetches();
     r.prefetches_late = mem.prefetch_counters().late_useful;
+    r.prefetches_dropped = mem.prefetch_counters().dropped_inflight_full;
     r.accuracy = mem.prefetch_accuracy();
     r.coverage = mem.prefetch_coverage();
+    r.l1 = mem.l1().stats();
+    r.l2 = mem.l2().stats();
+    r.llc = mem.llc().stats();
+    r.dram = mem.dram().stats();
     return r;
+}
+
+void
+SimResult::export_stats(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.gauge(prefix + ".ipc") = ipc;
+    reg.gauge(prefix + ".accuracy") = accuracy;
+    reg.gauge(prefix + ".coverage") = coverage;
+    reg.counter(prefix + ".instructions") = instructions;
+    reg.counter(prefix + ".cycles") = cycles;
+    reg.counter(prefix + ".llc.demand_accesses") = llc_accesses;
+    reg.counter(prefix + ".llc.uncovered_misses") = llc_misses;
+    reg.counter(prefix + ".prefetch.issued") = prefetches_issued;
+    reg.counter(prefix + ".prefetch.useful") = prefetches_useful;
+    reg.counter(prefix + ".prefetch.late") = prefetches_late;
+    reg.counter(prefix + ".prefetch.dropped") = prefetches_dropped;
+    export_cache_stats(reg, prefix + ".l1", l1);
+    export_cache_stats(reg, prefix + ".l2", l2);
+    export_cache_stats(reg, prefix + ".llc", llc);
+    export_dram_stats(reg, prefix + ".dram", dram);
 }
 
 std::vector<LlcAccess>

@@ -38,12 +38,28 @@ struct SimResult
     std::uint64_t prefetches_issued = 0;
     std::uint64_t prefetches_useful = 0;
     std::uint64_t prefetches_late = 0;
+    std::uint64_t prefetches_dropped = 0;  ///< in-flight budget full
 
     double accuracy = 0.0;   ///< useful / issued
     double coverage = 0.0;   ///< useful / (useful + uncovered misses)
 
+    /** Per-level counters captured at the end of the run. */
+    CacheStats l1;
+    CacheStats l2;
+    CacheStats llc;
+    DramStats dram;
+
     /** IPC improvement over a baseline run, e.g. 0.416 for +41.6%. */
     double speedup_over(const SimResult &baseline) const;
+
+    /**
+     * Export everything above into `reg` under `<prefix>.`:
+     * headline gauges (`.ipc`, `.accuracy`, `.coverage`), prefetch
+     * counters (`.prefetch.*`) and the full hierarchy breakdown
+     * (`.l1/.l2/.llc/.dram.*`). Assigns, so re-export is idempotent.
+     */
+    void export_stats(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** Paper Table 3 configuration. */

@@ -64,8 +64,14 @@ Histogram::quantile(double q) const
 {
     if (total_ == 0)
         return lo_;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(total_));
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample, 1-based. Truncating q*total instead
+    // of taking the ceiling made every low-q quantile of a small
+    // histogram collapse to `lo` (e.g. quantile(0.5) of a single
+    // sample in the top bucket), which the registry unit tests caught.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    target = std::clamp<std::uint64_t>(target, 1, total_);
     std::uint64_t cum = underflow_;
     if (cum >= target)
         return lo_;

@@ -50,7 +50,14 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
-    /** Value at the given cumulative quantile q in [0,1]. */
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    /**
+     * Value at cumulative quantile q (clamped to [0,1]): the bucket
+     * midpoint holding the ceil(q*total)-th sample (at least the
+     * first), `lo` if that sample underflowed, `hi` if it overflowed.
+     * An empty histogram returns `lo`.
+     */
     double quantile(double q) const;
 
   private:

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/stat_registry.hpp"
+
 namespace voyager {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -28,6 +30,24 @@ Table::add_row(const std::string &label, const std::vector<double> &vals,
         row.emplace_back(buf);
     }
     add_row(std::move(row));
+    numeric_rows_.emplace_back(label, vals);
+}
+
+void
+Table::export_stats(StatRegistry &reg, const std::string &prefix) const
+{
+    for (const auto &[label, vals] : numeric_rows_) {
+        const std::string row_prefix =
+            prefix + "." + stat_name_segment(label);
+        for (std::size_t c = 0; c < vals.size(); ++c) {
+            // Column 0 of the header is the row-label column; value c
+            // sits under header column c + 1.
+            const std::string col = c + 1 < header_.size()
+                                        ? stat_name_segment(header_[c + 1])
+                                        : std::to_string(c);
+            reg.gauge(row_prefix + "." + col) = vals[c];
+        }
+    }
 }
 
 void

@@ -12,6 +12,8 @@
 
 namespace voyager {
 
+class StatRegistry;
+
 /** Column-aligned text table with a header row. */
 class Table
 {
@@ -21,18 +23,33 @@ class Table
     /** Append a row; must have the same arity as the header. */
     void add_row(std::vector<std::string> row);
 
-    /** Convenience: row of label + doubles formatted with 'decimals'. */
+    /**
+     * Convenience: row of label + doubles formatted with 'decimals'.
+     * Numeric rows are retained untruncated for export_stats().
+     */
     void add_row(const std::string &label, const std::vector<double> &vals,
                  int decimals = 3);
 
     /** Render with column padding. */
     void print(std::ostream &os) const;
 
+    /**
+     * Export every numeric row (added through the label+doubles
+     * overload) as gauges named `<prefix>.<row label>.<column>`,
+     * labels/columns sanitized by stat_name_segment(). This is how
+     * bench binaries mirror their printed figure/table into the
+     * `--stats_json` document.
+     */
+    void export_stats(StatRegistry &reg, const std::string &prefix) const;
+
     std::size_t rows() const { return rows_.size(); }
 
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
+    /** (label, values) pairs from the numeric add_row overload. */
+    std::vector<std::pair<std::string, std::vector<double>>>
+        numeric_rows_;
 };
 
 }  // namespace voyager

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Golden-stats regression: a tiny Fig-5-style run (rule-based
+ * prefetchers on the tiny bfs workload) is compared field-by-field
+ * against the checked-in document tests/golden/fig5_tiny.json.
+ * Structural counters must match exactly; gauges within a small
+ * tolerance (Debug/sanitizer builds may contract FP differently).
+ * Regenerate with:  VOYAGER_UPDATE_GOLDEN=1 ./test_golden
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prefetch/registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/gen/workloads.hpp"
+#include "util/stat_registry.hpp"
+
+#ifndef VOYAGER_GOLDEN_DIR
+#error "VOYAGER_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace voyager {
+namespace {
+
+struct ParsedStat
+{
+    std::string kind;
+    std::map<std::string, double> fields;
+};
+
+/**
+ * Minimal scanner for the documents StatRegistry emits: every stat
+ * occupies one line of the "stats" object, `"name": {"kind": "...",
+ * "field": value, ...}`. Array fields (histogram buckets) are skipped.
+ */
+std::map<std::string, ParsedStat>
+parse_stats(const std::string &doc)
+{
+    std::map<std::string, ParsedStat> out;
+    std::istringstream is(doc);
+    std::string line;
+    bool in_stats = false;
+    while (std::getline(is, line)) {
+        if (line.find("\"stats\": {") != std::string::npos) {
+            in_stats = true;
+            continue;
+        }
+        if (!in_stats)
+            continue;
+        const auto q1 = line.find('"');
+        if (q1 == std::string::npos)
+            continue;  // closing brace
+        const auto q2 = line.find('"', q1 + 1);
+        const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+        ParsedStat st;
+        const std::string kind_key = "\"kind\": \"";
+        auto kp = line.find(kind_key, q2);
+        if (kp == std::string::npos)
+            continue;
+        kp += kind_key.size();
+        st.kind = line.substr(kp, line.find('"', kp) - kp);
+        // Numeric fields: every `"key": <number>` after the kind.
+        std::size_t pos = line.find('"', line.find('"', kp) + 1);
+        while (pos != std::string::npos) {
+            const auto kend = line.find('"', pos + 1);
+            if (kend == std::string::npos)
+                break;
+            const std::string key = line.substr(pos + 1, kend - pos - 1);
+            const auto colon = line.find(':', kend);
+            if (colon == std::string::npos)
+                break;
+            const char c = line[colon + 2];
+            if ((c >= '0' && c <= '9') || c == '-') {
+                st.fields[key] = std::strtod(
+                    line.c_str() + colon + 2, nullptr);
+            }
+            pos = line.find('"', colon);
+            if (c == '[')  // skip array contents
+                pos = line.find('"', line.find(']', colon));
+        }
+        out[name] = st;
+    }
+    return out;
+}
+
+std::string
+run_fig5_tiny()
+{
+    StatRegistry reg;
+    reg.set_meta("bench", "fig5_tiny");
+    const auto t = trace::gen::make_workload("bfs",
+                                             trace::gen::Scale::Tiny, 1);
+    const auto cfg = sim::tiny_sim_config();
+    for (const char *name : {"stms", "isb", "bo"}) {
+        auto pf = prefetch::make_prefetcher(name, 1);
+        const auto r = sim::simulate(t, cfg, *pf);
+        const std::string prefix =
+            std::string("sim.bfs.") + name + ".d1";
+        r.export_stats(reg, prefix);
+        pf->export_stats(reg, prefix);
+    }
+    StatEmitOptions opts;
+    opts.include_volatile = false;
+    return reg.json(opts);
+}
+
+TEST(GoldenStats, Fig5TinyMatchesCheckedInDocument)
+{
+    const std::string path =
+        std::string(VOYAGER_GOLDEN_DIR) + "/fig5_tiny.json";
+    const std::string current = run_fig5_tiny();
+
+    if (std::getenv("VOYAGER_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << current;
+        GTEST_SKIP() << "golden file regenerated: " << path;
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is) << "missing golden file " << path
+                    << " (regenerate with VOYAGER_UPDATE_GOLDEN=1)";
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const auto golden = parse_stats(buf.str());
+    const auto now = parse_stats(current);
+    ASSERT_FALSE(golden.empty()) << "golden file parsed to nothing";
+
+    std::ostringstream diff;
+    for (const auto &[name, g] : golden) {
+        const auto it = now.find(name);
+        if (it == now.end()) {
+            diff << "missing stat: " << name << "\n";
+            continue;
+        }
+        if (it->second.kind != g.kind) {
+            diff << name << ": kind " << it->second.kind
+                 << " != golden " << g.kind << "\n";
+            continue;
+        }
+        for (const auto &[field, gv] : g.fields) {
+            const auto fit = it->second.fields.find(field);
+            if (fit == it->second.fields.end()) {
+                diff << name << ": missing field " << field << "\n";
+                continue;
+            }
+            const double cv = fit->second;
+            if (g.kind == "counter") {
+                if (cv != gv)
+                    diff << name << "." << field << ": " << cv
+                         << " != golden " << gv << "\n";
+            } else {
+                const double tol =
+                    1e-6 * std::max(1.0, std::abs(gv));
+                if (std::abs(cv - gv) > tol)
+                    diff << name << "." << field << ": " << cv
+                         << " != golden " << gv << " (tol " << tol
+                         << ")\n";
+            }
+        }
+    }
+    for (const auto &[name, st] : now)
+        if (!golden.count(name))
+            diff << "new stat not in golden: " << name << "\n";
+
+    EXPECT_TRUE(diff.str().empty())
+        << "golden-stats mismatch vs " << path << ":\n"
+        << diff.str()
+        << "(intentional change? regenerate with "
+           "VOYAGER_UPDATE_GOLDEN=1)";
+}
+
+}  // namespace
+}  // namespace voyager

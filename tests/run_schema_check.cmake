@@ -1,0 +1,13 @@
+# Test driver for the stats_schema_validates ctest: run a bench binary
+# with --stats_json and feed the document to tools/check_stats_schema.py.
+# Variables: BENCH, VALIDATOR, PYTHON, OUT.
+execute_process(COMMAND ${BENCH} --stats_json=${OUT}
+                RESULT_VARIABLE bench_rc OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "bench binary failed (rc=${bench_rc})")
+endif()
+execute_process(COMMAND ${PYTHON} ${VALIDATOR} ${OUT}
+                RESULT_VARIABLE val_rc)
+if(NOT val_rc EQUAL 0)
+    message(FATAL_ERROR "schema validation failed (rc=${val_rc})")
+endif()

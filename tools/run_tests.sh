@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI gate: build + run the tier-1 suite under the release preset, then
+# again under the asan-ubsan preset (Debug + ASan + UBSan), and
+# finally validate a bench binary's --stats_json document against the
+# schema checker. Run from the repository root. Fails on first error.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== release: configure + build =="
+cmake --preset release
+cmake --build --preset release -j1
+
+echo "== release: ctest -L tier1 =="
+ctest --preset tier1 --output-on-failure
+
+echo "== asan-ubsan: configure + build =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j1
+
+echo "== asan-ubsan: ctest -L tier1 =="
+ctest --preset asan-tier1 --output-on-failure
+
+echo "== stats schema validation =="
+out=$(mktemp /tmp/voyager_stats.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+./build/bench/bench_table1_hparams --stats_json="$out" >/dev/null
+python3 tools/check_stats_schema.py "$out"
+
+echo "all gates passed"
