@@ -59,6 +59,9 @@ BenchContext::BenchContext(int argc, const char *const *argv,
         "llc_cap", scale_ == Scale::Paper ? 0 : 20000);
     cache_dir_ = cfg_.get_string("cache_dir", "bench_cache");
     use_cache_ = !cfg_.get_bool("no_cache", false);
+    checkpoint_dir_ = cfg_.get_string("checkpoint", "");
+    checkpoint_every_ = cfg_.get_uint("checkpoint_every", 1);
+    resume_ = cfg_.get_bool("resume", false);
     stats_json_path_ = cfg_.get_string("stats_json", "");
     stats_csv_path_ = cfg_.get_string("stats_csv", "");
     start_time_ = std::chrono::steady_clock::now();
@@ -92,6 +95,7 @@ BenchContext::emit_stats()
         return;
     stats_emitted_ = true;
     nn::export_op_stats(stats_);
+    core::export_checkpoint_stats(stats_);
     stats_.gauge("wall.seconds", true) =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_time_)
@@ -286,6 +290,20 @@ BenchContext::cache_path(const std::string &key) const
     return cache_dir_ + "/" + key + ".bin";
 }
 
+core::CheckpointConfig
+BenchContext::checkpoint_config(const std::string &key) const
+{
+    core::CheckpointConfig c;
+    if (checkpoint_dir_.empty())
+        return c;
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir_, ec);
+    c.path = checkpoint_dir_ + "/" + key + ".ckpt";
+    c.every_epochs = checkpoint_every_;
+    c.resume = resume_;
+    return c;
+}
+
 std::optional<core::OnlineResult>
 BenchContext::load_cached(const std::string &key) const
 {
@@ -366,7 +384,8 @@ BenchContext::voyager_result(const std::string &benchmark,
                                      vocab_cfg);
         StatRegistry::ScopedTimer timer(stats_, "time.train");
         res = core::train_online(adapter, stream.size(),
-                                 train_config(kNeuralDegree));
+                                 train_config(kNeuralDegree),
+                                 checkpoint_config(key));
         store_cached(key, *res);
     }
     res->export_stats(stats_, "train." + stat_name_segment(benchmark) +
@@ -388,7 +407,8 @@ BenchContext::delta_lstm_result(const std::string &benchmark,
         core::DeltaLstmAdapter adapter(delta_lstm_config(), stream);
         StatRegistry::ScopedTimer timer(stats_, "time.train");
         res = core::train_online(adapter, stream.size(),
-                                 train_config(kNeuralDegree));
+                                 train_config(kNeuralDegree),
+                                 checkpoint_config(key));
         store_cached(key, *res);
     }
     res->export_stats(stats_, "train." + stat_name_segment(benchmark) +

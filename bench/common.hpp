@@ -18,6 +18,12 @@
  *   --stats_json=PATH          emit the run's StatRegistry as JSON
  *                              (versioned schema, DESIGN.md §5.11)
  *   --stats_csv=PATH           same, flat CSV
+ *   --checkpoint=DIR           write training checkpoints under DIR,
+ *                              one `<result_key>.ckpt` per training
+ *                              (same key as the neural-result cache)
+ *   --checkpoint_every=N       checkpoint every N epochs (default 1)
+ *   --resume                   resume interrupted trainings from
+ *                              their checkpoint files
  */
 #pragma once
 
@@ -165,6 +171,9 @@ class BenchContext
 
   private:
     std::string cache_path(const std::string &key) const;
+    /** Checkpoint schedule for a training keyed by `key`; disabled
+     *  (empty path) unless --checkpoint was given. */
+    core::CheckpointConfig checkpoint_config(const std::string &key) const;
     std::optional<core::OnlineResult>
     load_cached(const std::string &key) const;
     void store_cached(const std::string &key,
@@ -184,6 +193,9 @@ class BenchContext
     std::size_t llc_cap_ = 30000;
     std::string cache_dir_;
     bool use_cache_ = true;
+    std::string checkpoint_dir_;
+    std::size_t checkpoint_every_ = 1;
+    bool resume_ = false;
 
     std::map<std::string, trace::Trace> traces_;
     std::map<std::string, std::vector<LlcAccess>> streams_;

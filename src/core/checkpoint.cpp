@@ -1,0 +1,237 @@
+#include "core/checkpoint.hpp"
+
+#include <filesystem>
+
+#include "core/trainer.hpp"
+#include "nn/serialize.hpp"
+#include "util/string_util.hpp"
+
+namespace voyager::core {
+
+namespace {
+
+/** Length-prefixed string (u64 length + raw bytes). */
+void
+write_str(std::ostream &os, const std::string &s)
+{
+    nn::write_u64(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+read_str(std::istream &is)
+{
+    const std::uint64_t n = nn::read_u64(is);
+    // A section payload is bounded by the file size; anything past a
+    // few MB of name is corruption, not data.
+    if (n > (1u << 20))
+        throw CheckpointError(
+            strfmt("implausible string length %llu in checkpoint",
+                   static_cast<unsigned long long>(n)));
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n) {
+        is.read(s.data(), static_cast<std::streamsize>(n));
+        if (is.gcount() != static_cast<std::streamsize>(n))
+            throw CheckpointError("checkpoint string truncated");
+    }
+    return s;
+}
+
+/** Check a meta field against the resuming run's value. */
+void
+require_match(std::uint64_t have, std::uint64_t want, const char *what)
+{
+    if (have != want) {
+        throw CheckpointError(
+            strfmt("checkpoint %s is %llu but the resuming run uses "
+                   "%llu; refusing to mix configurations",
+                   what, static_cast<unsigned long long>(have),
+                   static_cast<unsigned long long>(want)));
+    }
+}
+
+}  // namespace
+
+CheckpointStats &
+checkpoint_stats()
+{
+    static CheckpointStats stats;
+    return stats;
+}
+
+void
+export_checkpoint_stats(StatRegistry &reg)
+{
+    // Volatile: an interrupted-and-resumed run checkpoints while the
+    // equivalent straight run does not, and the deterministic
+    // (include_volatile=false) document must stay byte-identical
+    // between the two.
+    const CheckpointStats &s = checkpoint_stats();
+    reg.counter("checkpoint.writes", true) = s.writes;
+    reg.counter("checkpoint.bytes", true) = s.bytes_written;
+    reg.counter("checkpoint.resumes", true) = s.resumes;
+}
+
+CheckpointMeta
+read_checkpoint_meta(const CheckpointReader &reader)
+{
+    CheckpointMeta meta;
+    try {
+        auto ms = reader.section("meta");
+        meta.model = read_str(ms);
+        meta.stream_size = nn::read_u64(ms);
+        meta.epochs = nn::read_u64(ms);
+        meta.degree = nn::read_u64(ms);
+        meta.train_passes = nn::read_u64(ms);
+        meta.max_train_samples_per_epoch = nn::read_u64(ms);
+        meta.cumulative = nn::read_u64(ms) != 0;
+        meta.seed = nn::read_u64(ms);
+        auto ts = reader.section("trainer");
+        meta.next_epoch = nn::read_u64(ts);
+        meta.trained_samples = nn::read_u64(ts);
+    } catch (const CheckpointError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw CheckpointError(
+            strfmt("malformed checkpoint meta: %s", e.what()));
+    }
+    return meta;
+}
+
+void
+save_training_checkpoint(const std::string &path,
+                         const SequenceModel &model,
+                         const OnlineTrainConfig &cfg,
+                         std::size_t stream_size, std::size_t next_epoch,
+                         const Rng &rng, const OnlineResult &partial)
+{
+    CheckpointWriter writer;
+
+    std::ostream &ms = writer.section("meta");
+    write_str(ms, model.name());
+    nn::write_u64(ms, stream_size);
+    nn::write_u64(ms, cfg.epochs);
+    nn::write_u64(ms, cfg.degree);
+    nn::write_u64(ms, cfg.train_passes);
+    nn::write_u64(ms, cfg.max_train_samples_per_epoch);
+    nn::write_u64(ms, cfg.cumulative ? 1 : 0);
+    nn::write_u64(ms, cfg.seed);
+
+    std::ostream &ts = writer.section("trainer");
+    nn::write_u64(ts, next_epoch);
+    nn::write_u64(ts, partial.trained_samples);
+    nn::write_u64(ts, partial.predicted_samples);
+    nn::write_u64(ts, partial.first_predicted_index);
+    nn::write_u64(ts, partial.epoch_losses.size());
+    for (const double loss : partial.epoch_losses)
+        nn::write_f64(ts, loss);
+    nn::save_rng_state(ts, rng.state());
+
+    std::ostream &ps = writer.section("predictions");
+    nn::write_u64(ps, partial.predictions.size());
+    for (const auto &lines : partial.predictions) {
+        nn::write_u64(ps, lines.size());
+        for (const Addr line : lines)
+            nn::write_u64(ps, line);
+    }
+
+    model.save_state(writer.section("model"));
+
+    CheckpointStats &stats = checkpoint_stats();
+    stats.bytes_written += writer.write_file(path);
+    ++stats.writes;
+}
+
+std::optional<std::size_t>
+try_resume_training(const std::string &path, SequenceModel &model,
+                    const OnlineTrainConfig &cfg, std::size_t stream_size,
+                    Rng &rng, OnlineResult &partial)
+{
+    if (!std::filesystem::exists(path))
+        return std::nullopt;
+
+    const CheckpointReader reader = CheckpointReader::from_file(path);
+    const CheckpointMeta meta = read_checkpoint_meta(reader);
+    if (meta.model != model.name()) {
+        throw CheckpointError(
+            strfmt("checkpoint holds a '%s' model but the resuming "
+                   "run trains '%s'",
+                   meta.model.c_str(), model.name().c_str()));
+    }
+    require_match(meta.stream_size, stream_size, "stream size");
+    require_match(meta.epochs, cfg.epochs, "epoch count");
+    require_match(meta.degree, cfg.degree, "prefetch degree");
+    require_match(meta.train_passes, cfg.train_passes, "train passes");
+    require_match(meta.max_train_samples_per_epoch,
+                  cfg.max_train_samples_per_epoch,
+                  "max train samples per epoch");
+    require_match(meta.cumulative ? 1 : 0, cfg.cumulative ? 1 : 0,
+                  "cumulative-replay flag");
+    require_match(meta.seed, cfg.seed, "trainer seed");
+    if (meta.next_epoch == 0 || meta.next_epoch > meta.epochs) {
+        throw CheckpointError(
+            strfmt("checkpoint resume epoch %llu is outside (0, %llu]",
+                   static_cast<unsigned long long>(meta.next_epoch),
+                   static_cast<unsigned long long>(meta.epochs)));
+    }
+
+    try {
+        auto ts = reader.section("trainer");
+        nn::read_u64(ts);  // next_epoch, already in meta
+        partial.trained_samples = nn::read_u64(ts);
+        partial.predicted_samples = nn::read_u64(ts);
+        partial.first_predicted_index = nn::read_u64(ts);
+        const std::uint64_t n_losses = nn::read_u64(ts);
+        if (n_losses > meta.epochs) {
+            throw CheckpointError(
+                strfmt("checkpoint records %llu epoch losses for a "
+                       "%llu-epoch run",
+                       static_cast<unsigned long long>(n_losses),
+                       static_cast<unsigned long long>(meta.epochs)));
+        }
+        partial.epoch_losses.clear();
+        partial.epoch_losses.reserve(n_losses);
+        for (std::uint64_t i = 0; i < n_losses; ++i)
+            partial.epoch_losses.push_back(nn::read_f64(ts));
+        rng.set_state(nn::load_rng_state(ts));
+
+        auto ps = reader.section("predictions");
+        const std::uint64_t n_pred = nn::read_u64(ps);
+        if (n_pred != stream_size) {
+            throw CheckpointError(
+                strfmt("checkpoint predictions cover %llu indices but "
+                       "the stream has %llu",
+                       static_cast<unsigned long long>(n_pred),
+                       static_cast<unsigned long long>(stream_size)));
+        }
+        partial.predictions.assign(stream_size, {});
+        for (std::uint64_t i = 0; i < n_pred; ++i) {
+            const std::uint64_t n_lines = nn::read_u64(ps);
+            if (n_lines > cfg.degree) {
+                throw CheckpointError(
+                    strfmt("checkpoint index %llu has %llu predicted "
+                           "lines but degree is %u",
+                           static_cast<unsigned long long>(i),
+                           static_cast<unsigned long long>(n_lines),
+                           cfg.degree));
+            }
+            auto &lines = partial.predictions[i];
+            lines.reserve(n_lines);
+            for (std::uint64_t j = 0; j < n_lines; ++j)
+                lines.push_back(nn::read_u64(ps));
+        }
+
+        auto mos = reader.section("model");
+        model.load_state(mos);
+    } catch (const CheckpointError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw CheckpointError(
+            strfmt("failed to restore checkpoint state: %s", e.what()));
+    }
+
+    ++checkpoint_stats().resumes;
+    return static_cast<std::size_t>(meta.next_epoch);
+}
+
+}  // namespace voyager::core

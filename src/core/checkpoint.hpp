@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Crash-consistent checkpoint/resume for online training (the
+ * production-deployment concern of paper §5/Fig. 17: a long-running
+ * online trainer must survive interruption without retraining from
+ * scratch). A training checkpoint is a manifest-led container
+ * (util/checkpoint_file.hpp) with four sections:
+ *
+ *   meta         model name + the OnlineTrainConfig fingerprint; a
+ *                resume against a different configuration is refused
+ *   trainer      epoch cursor, sample counters, per-epoch losses and
+ *                the trainer's RNG stream
+ *   predictions  per-stream-index predictions accumulated so far
+ *   model        the SequenceModel's save_state blob (weights, Adam
+ *                moments/step, LR-decay position, RNG streams)
+ *
+ * Checkpoints are written at epoch boundaries via atomic
+ * write-rename; a resumed run is bit-for-bit equivalent to an
+ * uninterrupted one (tests/checkpoint_test.cpp pins this).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/checkpoint_file.hpp"
+#include "util/random.hpp"
+#include "util/stat_registry.hpp"
+
+namespace voyager::core {
+
+class SequenceModel;
+struct OnlineTrainConfig;
+struct OnlineResult;
+
+/** Checkpoint schedule for train_online. */
+struct CheckpointConfig
+{
+    /** Checkpoint file path; empty disables checkpointing. */
+    std::string path;
+    /** Write a checkpoint every this many completed epochs. */
+    std::size_t every_epochs = 1;
+    /** Resume from `path` if it exists (fresh start otherwise). */
+    bool resume = false;
+    /**
+     * When > 0, write a checkpoint and return the partial result
+     * after this many total completed epochs — a deterministic kill
+     * point for equivalence tests and staged/budgeted training runs.
+     */
+    std::size_t stop_after_epochs = 0;
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/** Process-wide checkpoint activity counters (exported as stats). */
+struct CheckpointStats
+{
+    std::uint64_t writes = 0;         ///< checkpoint files written
+    std::uint64_t bytes_written = 0;  ///< total serialized bytes
+    std::uint64_t resumes = 0;        ///< successful resumes
+
+    void
+    reset()
+    {
+        *this = CheckpointStats{};
+    }
+};
+
+/** The process-wide checkpoint counters (cf. nn::op_stats()). */
+CheckpointStats &checkpoint_stats();
+
+/**
+ * Export the process-wide counters into `reg` as the counters
+ * `checkpoint.writes`, `checkpoint.bytes`, `checkpoint.resumes`.
+ */
+void export_checkpoint_stats(StatRegistry &reg);
+
+/** Decoded meta + cursor of a training checkpoint (for inspection). */
+struct CheckpointMeta
+{
+    std::string model;
+    std::uint64_t stream_size = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t degree = 0;
+    std::uint64_t train_passes = 0;
+    std::uint64_t max_train_samples_per_epoch = 0;
+    bool cumulative = false;
+    std::uint64_t seed = 0;
+    std::uint64_t next_epoch = 0;
+    std::uint64_t trained_samples = 0;
+};
+
+/**
+ * Decode the meta and trainer-cursor fields of a parsed checkpoint.
+ * @throws CheckpointError on malformed sections.
+ */
+CheckpointMeta read_checkpoint_meta(const CheckpointReader &reader);
+
+/**
+ * Serialize the complete training state and atomically replace
+ * `path`. `next_epoch` is the first epoch the resumed run will
+ * execute. @throws std::runtime_error on I/O failure.
+ */
+void save_training_checkpoint(const std::string &path,
+                              const SequenceModel &model,
+                              const OnlineTrainConfig &cfg,
+                              std::size_t stream_size,
+                              std::size_t next_epoch, const Rng &rng,
+                              const OnlineResult &partial);
+
+/**
+ * Restore training state from `path` into `model`, `rng` and
+ * `partial`. Returns the epoch to resume at, or nullopt when no
+ * checkpoint file exists (fresh start). @throws CheckpointError on a
+ * corrupt checkpoint or one written by an incompatible run.
+ */
+std::optional<std::size_t>
+try_resume_training(const std::string &path, SequenceModel &model,
+                    const OnlineTrainConfig &cfg,
+                    std::size_t stream_size, Rng &rng,
+                    OnlineResult &partial);
+
+}  // namespace voyager::core

@@ -5,6 +5,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/ops.hpp"
+#include "nn/serialize.hpp"
 #include "util/stats.hpp"
 
 namespace voyager::core {
@@ -179,6 +180,30 @@ DeltaLstmModel::parameter_count() const
     return pc_emb_.param().size() + delta_emb_.param().size() +
            lstm_.wx().size() + lstm_.wh().size() + lstm_.bias().size() +
            head_.weight().size() + head_.bias().size();
+}
+
+void
+DeltaLstmModel::save_state(std::ostream &os) const
+{
+    nn::write_u64(os, cfg_.seq_len);
+    pc_emb_.save_state(os);
+    delta_emb_.save_state(os);
+    lstm_.save_state(os);
+    head_.save_state(os);
+    opt_.save_state(os);
+    nn::save_rng_state(os, rng_.state());
+}
+
+void
+DeltaLstmModel::load_state(std::istream &is)
+{
+    nn::expect_u64(is, cfg_.seq_len, "delta_lstm seq_len");
+    pc_emb_.load_state(is);
+    delta_emb_.load_state(is);
+    lstm_.load_state(is);
+    head_.load_state(is);
+    opt_.load_state(is);
+    rng_.set_state(nn::load_rng_state(is));
 }
 
 }  // namespace voyager::core

@@ -95,6 +95,11 @@ class DeltaLstmModel
     std::uint64_t parameter_count() const;
     std::uint64_t parameter_bytes() const { return parameter_count() * 4; }
 
+    /** Serialize weights, Adam state and RNG (see VoyagerModel). */
+    void save_state(std::ostream &os) const;
+    /** Restore state. @throws std::runtime_error on mismatch. */
+    void load_state(std::istream &is);
+
   private:
     void forward(const DeltaBatch &batch);
 

@@ -6,6 +6,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/ops.hpp"
+#include "nn/serialize.hpp"
 
 namespace voyager::core {
 
@@ -316,6 +317,47 @@ VoyagerModel::predict(const VoyagerBatch &batch, std::size_t k)
         out[b] = std::move(cands);
     }
     return out;
+}
+
+void
+VoyagerModel::save_state(std::ostream &os) const
+{
+    nn::write_u64(os, cfg_.seq_len);
+    nn::write_u64(os, cfg_.use_pc_feature ? 1 : 0);
+    pc_emb_.save_state(os);
+    page_emb_.save_state(os);
+    offset_emb_.save_state(os);
+    for (const nn::MoeAttention &a : attn_)
+        a.save_state(os);
+    page_lstm_.save_state(os);
+    offset_lstm_.save_state(os);
+    page_dropout_.save_state(os);
+    offset_dropout_.save_state(os);
+    page_head_.save_state(os);
+    offset_head_.save_state(os);
+    opt_.save_state(os);
+    nn::save_rng_state(os, rng_.state());
+}
+
+void
+VoyagerModel::load_state(std::istream &is)
+{
+    nn::expect_u64(is, cfg_.seq_len, "voyager seq_len");
+    nn::expect_u64(is, cfg_.use_pc_feature ? 1 : 0,
+                   "voyager use_pc_feature");
+    pc_emb_.load_state(is);
+    page_emb_.load_state(is);
+    offset_emb_.load_state(is);
+    for (nn::MoeAttention &a : attn_)
+        a.load_state(is);
+    page_lstm_.load_state(is);
+    offset_lstm_.load_state(is);
+    page_dropout_.load_state(is);
+    offset_dropout_.load_state(is);
+    page_head_.load_state(is);
+    offset_head_.load_state(is);
+    opt_.load_state(is);
+    rng_.set_state(nn::load_rng_state(is));
 }
 
 std::vector<Matrix *>

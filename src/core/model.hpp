@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -130,6 +131,21 @@ class VoyagerModel
     /** All weight matrices (for serialization / compression). */
     std::vector<nn::Matrix *> weights();
     std::vector<const nn::Matrix *> weights() const;
+
+    /**
+     * Serialize the *complete* training state: every module's weights,
+     * Adam moments and step count, the LR-decay position, and all RNG
+     * streams (init RNG + both dropout masks). A model restored with
+     * load_state continues training bit-identically to one that was
+     * never interrupted. Must be called between optimizer steps.
+     */
+    void save_state(std::ostream &os) const;
+
+    /**
+     * Restore state saved by save_state into an identically
+     * configured model. @throws std::runtime_error on any mismatch.
+     */
+    void load_state(std::istream &is);
 
     std::uint64_t parameter_count() const;
     /** fp32 dense model size in bytes. */

@@ -21,6 +21,18 @@ seconds_since(std::chrono::steady_clock::time_point t0)
 }  // namespace
 
 void
+SequenceModel::save_state(std::ostream &) const
+{
+    throw CheckpointError(name() + " does not support checkpointing");
+}
+
+void
+SequenceModel::load_state(std::istream &)
+{
+    throw CheckpointError(name() + " does not support checkpointing");
+}
+
+void
 OnlineResult::export_stats(StatRegistry &reg,
                            const std::string &prefix) const
 {
@@ -46,6 +58,13 @@ OnlineResult
 train_online(SequenceModel &model, std::size_t stream_size,
              const OnlineTrainConfig &cfg)
 {
+    return train_online(model, stream_size, cfg, CheckpointConfig{});
+}
+
+OnlineResult
+train_online(SequenceModel &model, std::size_t stream_size,
+             const OnlineTrainConfig &cfg, const CheckpointConfig &ckpt)
+{
     OnlineResult res;
     res.predictions.assign(stream_size, {});
     if (stream_size == 0 || cfg.epochs == 0)
@@ -67,7 +86,17 @@ train_online(SequenceModel &model, std::size_t stream_size,
         n_epochs > 1 ? epoch_begin(1) : stream_size;
 
     Rng rng(cfg.seed);
-    for (std::size_t e = 0; e < n_epochs; ++e) {
+    std::size_t start_epoch = 0;
+    if (ckpt.enabled() && ckpt.resume) {
+        if (const auto resumed = try_resume_training(
+                ckpt.path, model, cfg, stream_size, rng, res)) {
+            start_epoch = *resumed;
+        }
+    }
+    const std::size_t every =
+        std::max<std::size_t>(1, ckpt.every_epochs);
+
+    for (std::size_t e = start_epoch; e < n_epochs; ++e) {
         const std::size_t begin = epoch_begin(e);
         const std::size_t end = epoch_begin(e + 1);
         assert(begin < end && "every epoch must be non-empty");
@@ -112,6 +141,20 @@ train_online(SequenceModel &model, std::size_t stream_size,
         res.train_seconds += seconds_since(t0);
         res.epoch_losses.push_back(loss);
         model.on_epoch_end();
+
+        // Checkpoint at the completed-epoch boundary: grads are
+        // cleared by the optimizer step, so weights + moments + RNG +
+        // cursor are the entire training state.
+        const std::size_t done = e + 1;
+        const bool stop = ckpt.stop_after_epochs > 0 &&
+                          done >= ckpt.stop_after_epochs;
+        if (ckpt.enabled() && done < n_epochs &&
+            (stop || done % every == 0)) {
+            save_training_checkpoint(ckpt.path, model, cfg,
+                                     stream_size, done, rng, res);
+        }
+        if (stop)
+            return res;
     }
     return res;
 }

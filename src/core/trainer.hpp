@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/delta_lstm.hpp"
 #include "core/labeler.hpp"
 #include "core/model.hpp"
@@ -45,6 +47,16 @@ class SequenceModel
 
     /** fp32 model size. */
     virtual std::uint64_t parameter_bytes() const = 0;
+
+    /**
+     * Serialize the complete training state (weights, optimizer
+     * moments, RNG streams) for checkpointing. The default throws
+     * CheckpointError: models without an override cannot checkpoint.
+     */
+    virtual void save_state(std::ostream &os) const;
+
+    /** Restore state saved by save_state. @throws on mismatch. */
+    virtual void load_state(std::istream &is);
 };
 
 /** Online-training schedule. */
@@ -94,6 +106,18 @@ OnlineResult train_online(SequenceModel &model, std::size_t stream_size,
                           const OnlineTrainConfig &cfg);
 
 /**
+ * train_online with crash-consistent checkpointing: optionally resume
+ * from `ckpt.path`, write a checkpoint every `ckpt.every_epochs`
+ * completed epochs, and (for kill-point simulation) return early after
+ * `ckpt.stop_after_epochs` epochs. A run interrupted at any epoch
+ * boundary and resumed in a fresh process reproduces the
+ * uninterrupted run's result bit-for-bit.
+ */
+OnlineResult train_online(SequenceModel &model, std::size_t stream_size,
+                          const OnlineTrainConfig &cfg,
+                          const CheckpointConfig &ckpt);
+
+/**
  * The *offline* protocol of prior ML work (Hashemi et al.; paper
  * §2.2): train on the first `train_fraction` of the stream for
  * `epochs` passes, then predict the held-out remainder once. The paper
@@ -122,6 +146,14 @@ class VoyagerAdapter final : public SequenceModel
     std::uint64_t parameter_bytes() const override
     {
         return model_.parameter_bytes();
+    }
+    void save_state(std::ostream &os) const override
+    {
+        model_.save_state(os);
+    }
+    void load_state(std::istream &is) override
+    {
+        model_.load_state(is);
     }
 
     VoyagerModel &model() { return model_; }
@@ -163,6 +195,14 @@ class DeltaLstmAdapter final : public SequenceModel
     std::uint64_t parameter_bytes() const override
     {
         return model_->parameter_bytes();
+    }
+    void save_state(std::ostream &os) const override
+    {
+        model_->save_state(os);
+    }
+    void load_state(std::istream &is) override
+    {
+        model_->load_state(is);
     }
 
     DeltaLstmModel &model() { return *model_; }

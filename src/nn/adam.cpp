@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/ops.hpp"
+#include "nn/serialize.hpp"
 
 namespace voyager::nn {
 
@@ -72,6 +73,40 @@ Adam::step()
                         s.v.row(row), dim);
         }
         s.emb->clear_touched();
+    }
+}
+
+void
+Adam::save_state(std::ostream &os) const
+{
+    write_u64(os, t_);
+    write_f64(os, cfg_.lr);  // decay_lr mutates it: schedule position
+    write_u64(os, dense_.size());
+    for (const auto &s : dense_) {
+        save_matrix(os, s.m);
+        save_matrix(os, s.v);
+    }
+    write_u64(os, sparse_.size());
+    for (const auto &s : sparse_) {
+        save_matrix(os, s.m);
+        save_matrix(os, s.v);
+    }
+}
+
+void
+Adam::load_state(std::istream &is)
+{
+    t_ = read_u64(is);
+    cfg_.lr = read_f64(is);
+    expect_u64(is, dense_.size(), "adam dense parameter count");
+    for (auto &s : dense_) {
+        load_matrix_into(is, s.m, "adam first moment");
+        load_matrix_into(is, s.v, "adam second moment");
+    }
+    expect_u64(is, sparse_.size(), "adam sparse parameter count");
+    for (auto &s : sparse_) {
+        load_matrix_into(is, s.m, "adam first moment");
+        load_matrix_into(is, s.v, "adam second moment");
     }
 }
 

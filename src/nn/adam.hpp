@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -51,6 +52,20 @@ class Adam
     void decay_lr(double ratio) { cfg_.lr /= ratio; }
 
     std::uint64_t steps() const { return t_; }
+
+    /**
+     * Serialize the complete optimizer state: step count, the current
+     * (possibly decayed) learning rate, and first/second moments of
+     * every registered parameter in registration order. Must be
+     * called at a step boundary (gradients zero, touched sets empty).
+     */
+    void save_state(std::ostream &os) const;
+
+    /**
+     * Restore optimizer state into the same registration layout.
+     * @throws std::runtime_error on count or shape mismatch.
+     */
+    void load_state(std::istream &is);
 
   private:
     struct DenseState

@@ -1,8 +1,10 @@
 #include "nn/attention.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "nn/serialize.hpp"
 
 namespace voyager::nn {
 
@@ -109,6 +111,22 @@ MoeAttention::backward(const Matrix &dout, Matrix &dpage, Matrix &doffset)
             }
         }
     }
+}
+
+void
+MoeAttention::save_state(std::ostream &os) const
+{
+    write_u64(os, experts_);
+    write_f32(os, scale_);
+}
+
+void
+MoeAttention::load_state(std::istream &is)
+{
+    expect_u64(is, experts_, "attention experts");
+    const float scale = read_f32(is);
+    if (scale != scale_)
+        throw std::runtime_error("nn: attention scale mismatch");
 }
 
 }  // namespace voyager::nn

@@ -9,6 +9,8 @@
  */
 #pragma once
 
+#include <iosfwd>
+
 #include "nn/matrix.hpp"
 
 namespace voyager::nn {
@@ -40,6 +42,15 @@ class MoeAttention
     /** Attention weights of the last forward (batch, n). */
     const Matrix &weights() const { return attn_; }
     std::size_t experts() const { return experts_; }
+
+    /**
+     * The attention has no trainable parameters; save_state/load_state
+     * keep the uniform module interface by writing the configuration
+     * (experts, scale) as a consistency check only.
+     */
+    void save_state(std::ostream &os) const;
+    /** @throws std::runtime_error on configuration mismatch. */
+    void load_state(std::istream &is);
 
   private:
     std::size_t experts_;

@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 #include "nn/ops.hpp"
+#include "nn/serialize.hpp"
 
 namespace voyager::nn {
 
@@ -61,6 +63,18 @@ Embedding::backward(const std::vector<std::int32_t> &ids,
     }
 }
 
+void
+Embedding::save_state(std::ostream &os) const
+{
+    save_matrix(os, table_.value);
+}
+
+void
+Embedding::load_state(std::istream &is)
+{
+    load_matrix_into(is, table_.value, "embedding table");
+}
+
 Linear::Linear(std::size_t in, std::size_t out, Rng &rng)
     : w_(in, out), b_(1, out)
 {
@@ -88,6 +102,20 @@ Linear::backward(const Matrix &dy, Matrix &dx)
     gemm_nt(dy, w_.value, dx);
 }
 
+void
+Linear::save_state(std::ostream &os) const
+{
+    save_matrix(os, w_.value);
+    save_matrix(os, b_.value);
+}
+
+void
+Linear::load_state(std::istream &is)
+{
+    load_matrix_into(is, w_.value, "linear weight");
+    load_matrix_into(is, b_.value, "linear bias");
+}
+
 Dropout::Dropout(float keep_prob, std::uint64_t seed)
     : keep_(keep_prob), rng_(seed)
 {
@@ -109,6 +137,23 @@ Dropout::forward(Matrix &x)
         mask_[i] = m;
         d[i] *= m;
     }
+}
+
+void
+Dropout::save_state(std::ostream &os) const
+{
+    write_f32(os, keep_);
+    save_rng_state(os, rng_.state());
+}
+
+void
+Dropout::load_state(std::istream &is)
+{
+    const float keep = read_f32(is);
+    if (keep != keep_)
+        throw std::runtime_error("nn: dropout keep-probability "
+                                 "mismatch");
+    rng_.set_state(load_rng_state(is));
 }
 
 void

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_set>
 #include <vector>
 
@@ -53,6 +54,16 @@ class Embedding
     }
     void clear_touched() { touched_.clear(); }
 
+    /**
+     * Serialize the table weights. Gradients and the touched set are
+     * optimizer-step-transient and are not part of the state — all
+     * module save_state/load_state calls happen at step boundaries
+     * where both are empty.
+     */
+    void save_state(std::ostream &os) const;
+    /** Restore weights. @throws std::runtime_error on shape mismatch. */
+    void load_state(std::istream &is);
+
   private:
     Param table_;
     std::unordered_set<std::int32_t> touched_;
@@ -80,6 +91,11 @@ class Linear
     std::size_t in_dim() const { return w_.value.rows(); }
     std::size_t out_dim() const { return w_.value.cols(); }
 
+    /** Serialize weight and bias. */
+    void save_state(std::ostream &os) const;
+    /** Restore weight and bias. @throws on shape mismatch. */
+    void load_state(std::istream &is);
+
   private:
     Param w_;  // (in, out)
     Param b_;  // (1, out)
@@ -103,6 +119,15 @@ class Dropout
 
     /** Apply the recorded mask to the gradient in place. */
     void backward(Matrix &dx) const;
+
+    /**
+     * Serialize keep probability and the RNG stream position — the
+     * stream position is what makes a resumed run draw the same masks
+     * as an uninterrupted one. The per-batch mask is transient.
+     */
+    void save_state(std::ostream &os) const;
+    /** Restore; @throws std::runtime_error on keep-prob mismatch. */
+    void load_state(std::istream &is);
 
   private:
     float keep_;

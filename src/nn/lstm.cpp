@@ -5,6 +5,7 @@
 
 #include "nn/layers.hpp"
 #include "nn/ops.hpp"
+#include "nn/serialize.hpp"
 
 namespace voyager::nn {
 
@@ -137,6 +138,22 @@ Lstm::backward(const Matrix &dh_last, std::vector<Matrix> &dxs)
             gemm_nt(dz, wh_.value, dh);
         }
     }
+}
+
+void
+Lstm::save_state(std::ostream &os) const
+{
+    save_matrix(os, wx_.value);
+    save_matrix(os, wh_.value);
+    save_matrix(os, b_.value);
+}
+
+void
+Lstm::load_state(std::istream &is)
+{
+    load_matrix_into(is, wx_.value, "lstm wx");
+    load_matrix_into(is, wh_.value, "lstm wh");
+    load_matrix_into(is, b_.value, "lstm bias");
 }
 
 }  // namespace voyager::nn

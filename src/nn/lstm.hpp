@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -50,6 +51,11 @@ class Lstm
 
     std::size_t in_dim() const { return wx_.value.rows(); }
     std::size_t hidden() const { return wh_.value.rows(); }
+
+    /** Serialize wx, wh and bias (activation caches are transient). */
+    void save_state(std::ostream &os) const;
+    /** Restore parameters. @throws on shape mismatch. */
+    void load_state(std::istream &is);
 
   private:
     Param wx_;  // (in, 4H)

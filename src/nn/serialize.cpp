@@ -4,12 +4,35 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace voyager::nn {
 
 namespace {
+
 constexpr std::uint32_t kMagic = 0x564f594d;  // "VOYM"
+
+template <typename T>
+void
+write_pod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
 }
+
+template <typename T>
+T
+read_pod(std::istream &is, const char *what)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw std::runtime_error(std::string("nn: truncated stream "
+                                             "reading ") +
+                                 what);
+    return v;
+}
+
+}  // namespace
 
 void
 save_matrix(std::ostream &os, const Matrix &m)
@@ -34,7 +57,12 @@ load_matrix(std::istream &is)
         throw std::runtime_error("nn: bad matrix magic");
     is.read(reinterpret_cast<char *>(&r), sizeof(r));
     is.read(reinterpret_cast<char *>(&c), sizeof(c));
-    Matrix m(r, c);
+    if (!is)
+        throw std::runtime_error("nn: truncated matrix header");
+    // Guard r*c overflow / absurd allocations from corrupt headers.
+    if (r > (std::uint64_t{1} << 32) || c > (std::uint64_t{1} << 32))
+        throw std::runtime_error("nn: implausible matrix shape");
+    Matrix m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
     is.read(reinterpret_cast<char *>(m.data()),
             static_cast<std::streamsize>(m.size() * sizeof(float)));
     if (!is)
@@ -58,12 +86,85 @@ load_params(std::istream &is, const std::vector<Matrix *> &ps)
     is.read(reinterpret_cast<char *>(&n), sizeof(n));
     if (!is || n != ps.size())
         throw std::runtime_error("nn: parameter count mismatch");
-    for (Matrix *p : ps) {
-        Matrix loaded = load_matrix(is);
-        if (loaded.rows() != p->rows() || loaded.cols() != p->cols())
-            throw std::runtime_error("nn: parameter shape mismatch");
-        *p = std::move(loaded);
-    }
+    for (Matrix *p : ps)
+        load_matrix_into(is, *p, "parameter");
+}
+
+void
+load_matrix_into(std::istream &is, Matrix &dst, const char *what)
+{
+    Matrix loaded = load_matrix(is);
+    if (loaded.rows() != dst.rows() || loaded.cols() != dst.cols())
+        throw std::runtime_error(std::string("nn: ") + what +
+                                 " shape mismatch");
+    dst = std::move(loaded);
+}
+
+void
+write_u64(std::ostream &os, std::uint64_t v)
+{
+    write_pod(os, v);
+}
+
+std::uint64_t
+read_u64(std::istream &is)
+{
+    return read_pod<std::uint64_t>(is, "u64");
+}
+
+void
+write_f64(std::ostream &os, double v)
+{
+    write_pod(os, v);
+}
+
+double
+read_f64(std::istream &is)
+{
+    return read_pod<double>(is, "f64");
+}
+
+void
+write_f32(std::ostream &os, float v)
+{
+    write_pod(os, v);
+}
+
+float
+read_f32(std::istream &is)
+{
+    return read_pod<float>(is, "f32");
+}
+
+void
+expect_u64(std::istream &is, std::uint64_t expected, const char *what)
+{
+    const std::uint64_t got = read_u64(is);
+    if (got != expected)
+        throw std::runtime_error(
+            std::string("nn: state mismatch on ") + what + ": stored " +
+            std::to_string(got) + ", expected " +
+            std::to_string(expected));
+}
+
+void
+save_rng_state(std::ostream &os, const RngState &s)
+{
+    for (const std::uint64_t w : s.words)
+        write_u64(os, w);
+    write_u64(os, s.have_gaussian ? 1 : 0);
+    write_f64(os, s.spare_gaussian);
+}
+
+RngState
+load_rng_state(std::istream &is)
+{
+    RngState s;
+    for (std::uint64_t &w : s.words)
+        w = read_u64(is);
+    s.have_gaussian = read_u64(is) != 0;
+    s.spare_gaussian = read_f64(is);
+    return s;
 }
 
 }  // namespace voyager::nn

@@ -1,14 +1,20 @@
 /**
  * @file
  * Binary serialization for matrices and parameter sets, used to
- * checkpoint trained models and to measure on-disk model size.
+ * checkpoint trained models and to measure on-disk model size, plus
+ * the little-endian-host POD stream helpers every module's
+ * save_state/load_state implementation shares. All load helpers throw
+ * std::runtime_error on a short read, so truncated streams surface as
+ * exceptions rather than silent garbage.
  */
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "util/random.hpp"
 
 namespace voyager::nn {
 
@@ -26,5 +32,31 @@ void save_params(std::ostream &os, const std::vector<const Matrix *> &ps);
  * @throws std::runtime_error on shape mismatch.
  */
 void load_params(std::istream &is, const std::vector<Matrix *> &ps);
+
+/** Load a matrix into `dst`; its current shape must match.
+ *  @throws std::runtime_error on mismatch. */
+void load_matrix_into(std::istream &is, Matrix &dst, const char *what);
+
+// --- POD stream helpers -------------------------------------------------
+
+void write_u64(std::ostream &os, std::uint64_t v);
+std::uint64_t read_u64(std::istream &is);
+
+void write_f64(std::ostream &os, double v);
+double read_f64(std::istream &is);
+
+void write_f32(std::ostream &os, float v);
+float read_f32(std::istream &is);
+
+/**
+ * Read a u64 and check it equals `expected`; `what` names the field
+ * in the error message. @throws std::runtime_error on mismatch.
+ */
+void expect_u64(std::istream &is, std::uint64_t expected,
+                const char *what);
+
+/** Write/read a full Rng snapshot (xoshiro words + gaussian spare). */
+void save_rng_state(std::ostream &os, const RngState &s);
+RngState load_rng_state(std::istream &is);
 
 }  // namespace voyager::nn

@@ -1,0 +1,38 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace voyager {
+
+void
+write_file_atomic(const std::string &path, std::string_view contents)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            throw std::runtime_error("atomic write: cannot open " + tmp);
+        }
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(contents.size()));
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            throw std::runtime_error("atomic write: short write to " +
+                                     tmp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("atomic write: rename " + tmp + " -> " +
+                                 path + " failed: " + ec.message());
+    }
+}
+
+}  // namespace voyager

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Crash-consistent file replacement: contents are written to a
+ * temporary sibling and renamed over the destination, so readers only
+ * ever observe the old complete file or the new complete file — never
+ * a torn intermediate. The checkpoint subsystem depends on this to
+ * guarantee that a kill during a checkpoint write leaves the previous
+ * checkpoint intact.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace voyager {
+
+/**
+ * Atomically replace `path` with `contents` via write-to-temp +
+ * rename. The temporary is `path + ".tmp"` (same directory, so the
+ * rename cannot cross filesystems) and is removed on failure.
+ *
+ * @throws std::runtime_error on any I/O failure.
+ */
+void write_file_atomic(const std::string &path, std::string_view contents);
+
+}  // namespace voyager

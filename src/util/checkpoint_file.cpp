@@ -1,0 +1,194 @@
+#include "util/checkpoint_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
+#include "util/string_util.hpp"
+
+namespace voyager {
+
+namespace {
+
+template <typename T>
+void
+append_pod(std::string &out, const T &v)
+{
+    const char *p = reinterpret_cast<const char *>(&v);
+    out.append(p, sizeof(v));
+}
+
+/** Bounds-checked POD extraction from a byte buffer. */
+template <typename T>
+T
+take_pod(const std::string &buf, std::size_t &pos, const char *what)
+{
+    if (buf.size() - pos < sizeof(T))
+        throw CheckpointError(
+            strfmt("checkpoint truncated reading %s at offset %zu "
+                   "(file is %zu bytes)",
+                   what, pos, buf.size()));
+    T v;
+    std::memcpy(&v, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+}
+
+}  // namespace
+
+std::ostream &
+CheckpointWriter::section(const std::string &name)
+{
+    for (const auto &[n, _] : sections_)
+        if (n == name)
+            throw CheckpointError("duplicate checkpoint section '" +
+                                  name + "'");
+    sections_.emplace_back(name, std::ostringstream());
+    return sections_.back().second;
+}
+
+std::string
+CheckpointWriter::serialize() const
+{
+    std::string out;
+    append_pod(out, kCheckpointMagic);
+    append_pod(out, kCheckpointVersion);
+    append_pod(out, static_cast<std::uint32_t>(sections_.size()));
+    append_pod(out, std::uint32_t{0});  // reserved, must be zero
+    std::vector<std::string> payloads;
+    payloads.reserve(sections_.size());
+    for (const auto &[name, os] : sections_)
+        payloads.push_back(os.str());
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        const std::string &name = sections_[i].first;
+        append_pod(out, static_cast<std::uint16_t>(name.size()));
+        out.append(name);
+        append_pod(out, static_cast<std::uint64_t>(payloads[i].size()));
+        append_pod(out, crc32(payloads[i]));
+    }
+    for (const std::string &p : payloads)
+        out.append(p);
+    return out;
+}
+
+std::uint64_t
+CheckpointWriter::write_file(const std::string &path) const
+{
+    const std::string bytes = serialize();
+    write_file_atomic(path, bytes);
+    return bytes.size();
+}
+
+CheckpointReader
+CheckpointReader::from_bytes(std::string bytes)
+{
+    std::size_t pos = 0;
+    const auto magic = take_pod<std::uint32_t>(bytes, pos, "magic");
+    if (magic != kCheckpointMagic)
+        throw CheckpointError(
+            strfmt("bad checkpoint magic 0x%08x (expected 0x%08x)",
+                   magic, kCheckpointMagic));
+    const auto version = take_pod<std::uint32_t>(bytes, pos, "version");
+    if (version != kCheckpointVersion)
+        throw CheckpointError(
+            strfmt("unsupported checkpoint version %u (expected %u)",
+                   version, kCheckpointVersion));
+    const auto count =
+        take_pod<std::uint32_t>(bytes, pos, "section count");
+    const auto reserved = take_pod<std::uint32_t>(bytes, pos, "reserved");
+    if (reserved != 0)
+        throw CheckpointError(
+            strfmt("corrupt checkpoint: reserved field is 0x%08x, "
+                   "expected 0",
+                   reserved));
+
+    CheckpointReader r;
+    std::uint64_t payload_total = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        CheckpointSection s;
+        const auto name_len =
+            take_pod<std::uint16_t>(bytes, pos, "section name length");
+        if (bytes.size() - pos < name_len)
+            throw CheckpointError(
+                strfmt("checkpoint truncated in section %u name", i));
+        s.name = bytes.substr(pos, name_len);
+        pos += name_len;
+        if (s.name.empty())
+            throw CheckpointError(
+                strfmt("corrupt checkpoint: section %u has an empty "
+                       "name",
+                       i));
+        for (const auto &prev : r.manifest_)
+            if (prev.name == s.name)
+                throw CheckpointError(
+                    "corrupt checkpoint: duplicate section '" + s.name +
+                    "'");
+        s.size = take_pod<std::uint64_t>(bytes, pos, "section size");
+        s.crc = take_pod<std::uint32_t>(bytes, pos, "section crc");
+        if (s.size > bytes.size())
+            throw CheckpointError(
+                strfmt("corrupt checkpoint: section '%s' claims %llu "
+                       "bytes but the file has only %zu",
+                       s.name.c_str(),
+                       static_cast<unsigned long long>(s.size),
+                       bytes.size()));
+        payload_total += s.size;
+        r.manifest_.push_back(std::move(s));
+    }
+    if (bytes.size() - pos != payload_total)
+        throw CheckpointError(
+            strfmt("corrupt checkpoint: manifest claims %llu payload "
+                   "bytes but %zu follow the manifest",
+                   static_cast<unsigned long long>(payload_total),
+                   bytes.size() - pos));
+    for (const auto &s : r.manifest_) {
+        std::string payload =
+            bytes.substr(pos, static_cast<std::size_t>(s.size));
+        pos += static_cast<std::size_t>(s.size);
+        const std::uint32_t crc = crc32(payload);
+        if (crc != s.crc)
+            throw CheckpointError(
+                strfmt("checkpoint section '%s' failed its CRC-32 "
+                       "check (stored 0x%08x, computed 0x%08x)",
+                       s.name.c_str(), s.crc, crc));
+        r.payloads_.push_back(std::move(payload));
+    }
+    return r;
+}
+
+CheckpointReader
+CheckpointReader::from_file(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw CheckpointError("cannot open checkpoint file " + path);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    if (is.bad())
+        throw CheckpointError("I/O error reading checkpoint file " +
+                              path);
+    return from_bytes(std::move(bytes));
+}
+
+bool
+CheckpointReader::has(const std::string &name) const
+{
+    for (const auto &s : manifest_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+std::istringstream
+CheckpointReader::section(const std::string &name) const
+{
+    for (std::size_t i = 0; i < manifest_.size(); ++i)
+        if (manifest_[i].name == name)
+            return std::istringstream(payloads_[i]);
+    throw CheckpointError("checkpoint is missing required section '" +
+                          name + "'");
+}
+
+}  // namespace voyager

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Versioned, manifest-led checkpoint container. A checkpoint file is a
+ * fixed header, a manifest of named sections (name, payload size,
+ * CRC-32), then the section payloads in manifest order:
+ *
+ *   u32 magic "VOYK"  u32 version  u32 section_count  u32 reserved(0)
+ *   per section: u16 name_len, name bytes, u64 size, u32 crc32
+ *   payloads, concatenated in manifest order
+ *
+ * Files are written with write_file_atomic(), so an interrupted write
+ * can never clobber the previous checkpoint. The reader validates
+ * every header field, bounds-checks the manifest against the file
+ * size, and verifies each section's CRC before handing out payloads;
+ * any violation raises CheckpointError with a diagnosable message —
+ * corrupt input must never crash or invoke UB.
+ */
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace voyager {
+
+/** Any structural or integrity failure while reading a checkpoint. */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** On-disk magic of checkpoint files ("VOYK"). */
+inline constexpr std::uint32_t kCheckpointMagic = 0x564f594bu;
+
+/** Current checkpoint container format version. */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** One manifest entry: a named, checksummed payload. */
+struct CheckpointSection
+{
+    std::string name;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+};
+
+/**
+ * Builds a checkpoint in memory section by section, then writes it
+ * atomically. Sections keep their creation order in the manifest.
+ */
+class CheckpointWriter
+{
+  public:
+    /**
+     * Stream for a new section's payload. @throws CheckpointError on
+     * a duplicate name.
+     */
+    std::ostream &section(const std::string &name);
+
+    /** Serialize the container into a byte string. */
+    std::string serialize() const;
+
+    /**
+     * Serialize and atomically replace `path`.
+     * @return the file size in bytes.
+     */
+    std::uint64_t write_file(const std::string &path) const;
+
+  private:
+    std::vector<std::pair<std::string, std::ostringstream>> sections_;
+};
+
+/**
+ * Parses and validates a checkpoint container. All sections are held
+ * in memory (Voyager checkpoints are model-sized, a few MB at most).
+ */
+class CheckpointReader
+{
+  public:
+    /** Parse a serialized container. @throws CheckpointError. */
+    static CheckpointReader from_bytes(std::string bytes);
+
+    /** Read and parse a checkpoint file. @throws CheckpointError. */
+    static CheckpointReader from_file(const std::string &path);
+
+    bool has(const std::string &name) const;
+
+    /**
+     * Payload stream of a section. @throws CheckpointError when the
+     * section is absent.
+     */
+    std::istringstream section(const std::string &name) const;
+
+    /** The manifest, in on-disk order (for checkpoint-inspect). */
+    const std::vector<CheckpointSection> &manifest() const
+    {
+        return manifest_;
+    }
+
+  private:
+    std::vector<CheckpointSection> manifest_;
+    std::vector<std::string> payloads_;  ///< parallel to manifest_
+};
+
+}  // namespace voyager

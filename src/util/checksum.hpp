@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CRC-32 checksums (IEEE 802.3, reflected polynomial 0xEDB88320) used
+ * to guard every checkpoint section against torn writes and bit rot.
+ * Pure table-driven software implementation — deterministic across
+ * platforms, no hardware dependencies.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace voyager {
+
+/**
+ * Incrementally extend a CRC-32. Start from crc32_init(), feed byte
+ * ranges in order, and finish with crc32_final().
+ */
+std::uint32_t crc32_update(std::uint32_t state, const void *data,
+                           std::size_t n);
+
+/** Initial CRC-32 accumulator state. */
+inline constexpr std::uint32_t
+crc32_init()
+{
+    return 0xffffffffu;
+}
+
+/** Finalize an accumulator state into the checksum value. */
+inline constexpr std::uint32_t
+crc32_final(std::uint32_t state)
+{
+    return state ^ 0xffffffffu;
+}
+
+/** One-shot CRC-32 of a byte range ("123456789" -> 0xcbf43926). */
+std::uint32_t crc32(std::string_view data);
+
+}  // namespace voyager

@@ -116,6 +116,26 @@ Rng::split()
     return Rng(next_u64() ^ 0xd1b54a32d192ed03ull);
 }
 
+RngState
+Rng::state() const
+{
+    RngState s;
+    for (std::size_t i = 0; i < 4; ++i)
+        s.words[i] = state_[i];
+    s.have_gaussian = have_gaussian_;
+    s.spare_gaussian = spare_gaussian_;
+    return s;
+}
+
+void
+Rng::set_state(const RngState &s)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        state_[i] = s.words[i];
+    have_gaussian_ = s.have_gaussian;
+    spare_gaussian_ = s.spare_gaussian;
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double s)
 {
     assert(n > 0);

@@ -12,6 +12,19 @@
 namespace voyager {
 
 /**
+ * Complete serializable snapshot of an Rng: the four xoshiro256++
+ * state words plus the Box-Muller spare, so a restored generator
+ * continues the exact output stream (checkpoint/resume equivalence
+ * depends on this).
+ */
+struct RngState
+{
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    bool have_gaussian = false;
+    double spare_gaussian = 0.0;
+};
+
+/**
  * xoshiro256++ generator. Small, fast, and good enough statistical
  * quality for simulation workloads; deterministic across platforms
  * (unlike std::default_random_engine distributions).
@@ -56,6 +69,12 @@ class Rng
 
     /** Fork an independent stream (for parallel components). */
     Rng split();
+
+    /** Snapshot the full generator state. */
+    RngState state() const;
+
+    /** Restore a snapshot taken with state(). */
+    void set_state(const RngState &s);
 
   private:
     std::uint64_t state_[4];

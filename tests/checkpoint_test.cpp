@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Checkpoint/resume tests: container round-trips, kill-and-resume
+ * equivalence (a run interrupted at an epoch boundary and resumed in
+ * a fresh model must reproduce the uninterrupted run bit-for-bit),
+ * deterministic corruption fuzzing (every truncation and bit flip
+ * must raise CheckpointError, never crash), and the checkpoint stat
+ * counters.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/trainer.hpp"
+#include "util/checkpoint_file.hpp"
+#include "util/random.hpp"
+#include "util/stat_registry.hpp"
+
+namespace voyager {
+namespace {
+
+core::LlcAccess
+acc(Addr pc, Addr line, std::uint64_t index)
+{
+    core::LlcAccess a;
+    a.index = index;
+    a.pc = pc;
+    a.line = line;
+    a.is_load = true;
+    return a;
+}
+
+/** A strongly repeating stream: a fixed tour of `period` lines. */
+std::vector<core::LlcAccess>
+cyclic_stream(std::size_t n, std::size_t period, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> tour(period);
+    for (std::size_t i = 0; i < period; ++i)
+        tour[i] = 0x10000 + rng.next_below(200) * 7 + i * 3;
+    std::vector<core::LlcAccess> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(acc(0x400000 + (i % 4) * 4, tour[i % period], i));
+    return s;
+}
+
+core::VoyagerConfig
+tiny_voyager_config()
+{
+    core::VoyagerConfig c;
+    c.seq_len = 4;
+    c.pc_embed_dim = 4;
+    c.page_embed_dim = 8;
+    c.num_experts = 2;
+    c.lstm_units = 8;
+    c.batch_size = 16;
+    c.seed = 42;
+    return c;
+}
+
+core::DeltaLstmConfig
+tiny_delta_config()
+{
+    core::DeltaLstmConfig c;
+    c.seq_len = 4;
+    c.pc_embed_dim = 4;
+    c.delta_embed_dim = 8;
+    c.lstm_units = 8;
+    c.max_deltas = 64;
+    c.batch_size = 16;
+    c.seed = 42;
+    return c;
+}
+
+core::OnlineTrainConfig
+tiny_train_config()
+{
+    core::OnlineTrainConfig tc;
+    tc.epochs = 3;
+    tc.degree = 2;
+    tc.train_passes = 1;
+    tc.max_train_samples_per_epoch = 120;
+    tc.cumulative = true;
+    tc.seed = 1;
+    return tc;
+}
+
+/** Fresh temp-file path for one test (removed by the caller). */
+std::string
+tmp_path(const std::string &stem)
+{
+    const auto dir = std::filesystem::temp_directory_path();
+    return (dir / ("voyager_" + stem + ".ckpt")).string();
+}
+
+/** The trained model's complete state blob (weights+Adam+RNG). */
+std::string
+state_blob(const core::SequenceModel &model)
+{
+    std::ostringstream os;
+    model.save_state(os);
+    return os.str();
+}
+
+/** Deterministic stats document of an OnlineResult. */
+std::string
+deterministic_doc(const core::OnlineResult &res)
+{
+    StatRegistry reg;
+    res.export_stats(reg, "train");
+    StatEmitOptions opts;
+    opts.include_volatile = false;
+    return reg.json(opts);
+}
+
+// ---------------------------------------------------------------------
+// Container round-trips
+// ---------------------------------------------------------------------
+
+TEST(CheckpointContainer, RoundTripPreservesSections)
+{
+    CheckpointWriter w;
+    w.section("alpha") << "hello";
+    w.section("beta") << std::string(1000, 'x');
+    const std::string bytes = w.serialize();
+
+    const auto r = CheckpointReader::from_bytes(bytes);
+    ASSERT_EQ(r.manifest().size(), 2u);
+    EXPECT_EQ(r.manifest()[0].name, "alpha");
+    EXPECT_EQ(r.manifest()[0].size, 5u);
+    EXPECT_EQ(r.manifest()[1].name, "beta");
+    EXPECT_EQ(r.manifest()[1].size, 1000u);
+    EXPECT_TRUE(r.has("alpha"));
+    EXPECT_FALSE(r.has("gamma"));
+    EXPECT_EQ(r.section("alpha").str(), "hello");
+    EXPECT_EQ(r.section("beta").str(), std::string(1000, 'x'));
+}
+
+TEST(CheckpointContainer, DuplicateSectionThrows)
+{
+    CheckpointWriter w;
+    w.section("a");
+    EXPECT_THROW(w.section("a"), CheckpointError);
+}
+
+TEST(CheckpointContainer, MissingSectionThrows)
+{
+    CheckpointWriter w;
+    w.section("a") << "x";
+    const auto r = CheckpointReader::from_bytes(w.serialize());
+    EXPECT_THROW(r.section("b"), CheckpointError);
+}
+
+TEST(CheckpointContainer, FileRoundTripIsAtomic)
+{
+    const std::string path = tmp_path("container");
+    CheckpointWriter w;
+    w.section("payload") << "data";
+    const std::uint64_t n = w.write_file(path);
+    EXPECT_EQ(n, w.serialize().size());
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    const auto r = CheckpointReader::from_file(path);
+    EXPECT_EQ(r.section("payload").str(), "data");
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, UnreadableFileThrows)
+{
+    EXPECT_THROW(CheckpointReader::from_file("/nonexistent/nope.ckpt"),
+                 CheckpointError);
+}
+
+// ---------------------------------------------------------------------
+// Kill-and-resume equivalence
+// ---------------------------------------------------------------------
+
+TEST(CheckpointResume, VoyagerResumeIsBitIdentical)
+{
+    const auto stream = cyclic_stream(400, 20, 7);
+    const auto tc = tiny_train_config();
+
+    // Uninterrupted reference run.
+    core::VoyagerAdapter straight(tiny_voyager_config(), stream);
+    const auto ref = core::train_online(straight, stream.size(), tc);
+
+    for (std::size_t k = 1; k < tc.epochs; ++k) {
+        const std::string path =
+            tmp_path("voyager_eq_k" + std::to_string(k));
+        std::filesystem::remove(path);
+
+        // "Killed" run: checkpoint every epoch, stop after k.
+        core::CheckpointConfig stop_cfg;
+        stop_cfg.path = path;
+        stop_cfg.stop_after_epochs = k;
+        core::VoyagerAdapter killed(tiny_voyager_config(), stream);
+        const auto partial =
+            core::train_online(killed, stream.size(), tc, stop_cfg);
+        EXPECT_EQ(partial.epoch_losses.size(), k);
+        ASSERT_TRUE(std::filesystem::exists(path));
+
+        // Fresh-model resume must finish the run exactly.
+        core::CheckpointConfig resume_cfg;
+        resume_cfg.path = path;
+        resume_cfg.resume = true;
+        core::VoyagerAdapter resumed(tiny_voyager_config(), stream);
+        const auto res =
+            core::train_online(resumed, stream.size(), tc, resume_cfg);
+
+        EXPECT_EQ(res.epoch_losses, ref.epoch_losses) << "k=" << k;
+        EXPECT_EQ(res.predictions, ref.predictions) << "k=" << k;
+        EXPECT_EQ(res.first_predicted_index, ref.first_predicted_index);
+        EXPECT_EQ(res.trained_samples, ref.trained_samples);
+        EXPECT_EQ(res.predicted_samples, ref.predicted_samples);
+        EXPECT_EQ(state_blob(resumed), state_blob(straight))
+            << "k=" << k;
+        EXPECT_EQ(deterministic_doc(res), deterministic_doc(ref));
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(CheckpointResume, DeltaLstmResumeIsBitIdentical)
+{
+    const auto stream = cyclic_stream(400, 20, 9);
+    const auto tc = tiny_train_config();
+
+    core::DeltaLstmAdapter straight(tiny_delta_config(), stream);
+    const auto ref = core::train_online(straight, stream.size(), tc);
+
+    const std::string path = tmp_path("delta_eq");
+    std::filesystem::remove(path);
+    core::CheckpointConfig stop_cfg;
+    stop_cfg.path = path;
+    stop_cfg.stop_after_epochs = 1;
+    core::DeltaLstmAdapter killed(tiny_delta_config(), stream);
+    core::train_online(killed, stream.size(), tc, stop_cfg);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    core::CheckpointConfig resume_cfg;
+    resume_cfg.path = path;
+    resume_cfg.resume = true;
+    core::DeltaLstmAdapter resumed(tiny_delta_config(), stream);
+    const auto res =
+        core::train_online(resumed, stream.size(), tc, resume_cfg);
+
+    EXPECT_EQ(res.epoch_losses, ref.epoch_losses);
+    EXPECT_EQ(res.predictions, ref.predictions);
+    EXPECT_EQ(state_blob(resumed), state_blob(straight));
+    EXPECT_EQ(deterministic_doc(res), deterministic_doc(ref));
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointResume, MissingFileIsFreshStart)
+{
+    const auto stream = cyclic_stream(300, 15, 3);
+    const auto tc = tiny_train_config();
+
+    core::VoyagerAdapter straight(tiny_voyager_config(), stream);
+    const auto ref = core::train_online(straight, stream.size(), tc);
+
+    const std::string path = tmp_path("fresh_start");
+    std::filesystem::remove(path);
+    core::CheckpointConfig cfg;
+    cfg.path = path;
+    cfg.resume = true;  // nothing to resume from
+    core::VoyagerAdapter fresh(tiny_voyager_config(), stream);
+    const auto res =
+        core::train_online(fresh, stream.size(), tc, cfg);
+    EXPECT_EQ(res.epoch_losses, ref.epoch_losses);
+    EXPECT_EQ(res.predictions, ref.predictions);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointResume, ConfigMismatchThrows)
+{
+    const auto stream = cyclic_stream(300, 15, 3);
+    const auto tc = tiny_train_config();
+    const std::string path = tmp_path("mismatch");
+    std::filesystem::remove(path);
+
+    core::CheckpointConfig stop_cfg;
+    stop_cfg.path = path;
+    stop_cfg.stop_after_epochs = 1;
+    core::VoyagerAdapter killed(tiny_voyager_config(), stream);
+    core::train_online(killed, stream.size(), tc, stop_cfg);
+
+    core::CheckpointConfig resume_cfg;
+    resume_cfg.path = path;
+    resume_cfg.resume = true;
+
+    // Different trainer schedule: refused.
+    auto other = tc;
+    other.seed = 999;
+    core::VoyagerAdapter a(tiny_voyager_config(), stream);
+    EXPECT_THROW(
+        core::train_online(a, stream.size(), other, resume_cfg),
+        CheckpointError);
+
+    // Different model family: refused.
+    core::DeltaLstmAdapter b(tiny_delta_config(), stream);
+    EXPECT_THROW(
+        core::train_online(b, stream.size(), tc, resume_cfg),
+        CheckpointError);
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Corruption fuzzing: every deterministic mutation must surface as
+// CheckpointError — never a crash, hang or silent acceptance.
+// ---------------------------------------------------------------------
+
+/**
+ * Full validation pass over checkpoint bytes: parse, demand every
+ * training section, decode the meta fields. Returns normally only for
+ * an intact checkpoint.
+ */
+void
+validate_training_checkpoint(const std::string &bytes)
+{
+    const auto r = CheckpointReader::from_bytes(bytes);
+    for (const char *name : {"meta", "trainer", "predictions", "model"})
+        (void)r.section(name);
+    (void)core::read_checkpoint_meta(r);
+}
+
+/** Bytes of a real (tiny) training checkpoint. */
+std::string
+training_checkpoint_bytes()
+{
+    const auto stream = cyclic_stream(200, 10, 5);
+    auto tc = tiny_train_config();
+    tc.epochs = 2;
+    const std::string path = tmp_path("fuzz_source");
+    std::filesystem::remove(path);
+    core::CheckpointConfig cfg;
+    cfg.path = path;
+    cfg.stop_after_epochs = 1;
+    core::DeltaLstmAdapter adapter(tiny_delta_config(), stream);
+    core::train_online(adapter, stream.size(), tc, cfg);
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    std::filesystem::remove(path);
+    return ss.str();
+}
+
+TEST(CheckpointFuzz, EveryTruncationThrows)
+{
+    const std::string bytes = training_checkpoint_bytes();
+    ASSERT_GT(bytes.size(), 64u);
+    validate_training_checkpoint(bytes);  // intact input passes
+
+    // Every length in the header+manifest region, then a coarse but
+    // deterministic sweep through the payloads.
+    for (std::size_t cut = 0; cut < bytes.size();
+         cut += (cut < 256 ? 1 : 97)) {
+        EXPECT_THROW(
+            validate_training_checkpoint(bytes.substr(0, cut)),
+            CheckpointError)
+            << "truncation at " << cut << " not detected";
+    }
+}
+
+TEST(CheckpointFuzz, EveryBitFlipThrows)
+{
+    const std::string bytes = training_checkpoint_bytes();
+    validate_training_checkpoint(bytes);
+
+    // Flip one bit per byte (rotating bit position): exhaustive over
+    // the header/manifest region, strided through the payloads. CRC-32
+    // catches all payload flips; structural validation catches the
+    // rest.
+    for (std::size_t i = 0; i < bytes.size();
+         i += (i < 256 ? 1 : 97)) {
+        std::string corrupt = bytes;
+        corrupt[i] = static_cast<char>(
+            static_cast<unsigned char>(corrupt[i]) ^ (1u << (i % 8)));
+        EXPECT_THROW(validate_training_checkpoint(corrupt),
+                     CheckpointError)
+            << "bit flip at byte " << i << " not detected";
+    }
+}
+
+TEST(CheckpointFuzz, ValidContainerGarbagePayloadThrows)
+{
+    // A structurally perfect container (CRCs correct) whose sections
+    // hold nonsense must still fail cleanly at the semantic layer.
+    CheckpointWriter w;
+    w.section("meta") << "definitely not a meta section";
+    w.section("trainer") << "zzz";
+    w.section("predictions") << "";
+    w.section("model") << "not weights";
+    const std::string path = tmp_path("garbage");
+    w.write_file(path);
+
+    const auto stream = cyclic_stream(200, 10, 5);
+    core::VoyagerAdapter adapter(tiny_voyager_config(), stream);
+    core::OnlineResult partial;
+    Rng rng(1);
+    EXPECT_THROW(core::try_resume_training(path, adapter,
+                                           tiny_train_config(),
+                                           stream.size(), rng, partial),
+                 CheckpointError);
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+TEST(CheckpointStatsTest, CountersTrackWritesAndResumes)
+{
+    core::checkpoint_stats().reset();
+    const auto stream = cyclic_stream(300, 15, 11);
+    const auto tc = tiny_train_config();
+    const std::string path = tmp_path("stats");
+    std::filesystem::remove(path);
+
+    core::CheckpointConfig stop_cfg;
+    stop_cfg.path = path;
+    stop_cfg.stop_after_epochs = 1;
+    core::VoyagerAdapter killed(tiny_voyager_config(), stream);
+    core::train_online(killed, stream.size(), tc, stop_cfg);
+    EXPECT_EQ(core::checkpoint_stats().writes, 1u);
+    EXPECT_GT(core::checkpoint_stats().bytes_written, 0u);
+    EXPECT_EQ(core::checkpoint_stats().resumes, 0u);
+
+    core::CheckpointConfig resume_cfg;
+    resume_cfg.path = path;
+    resume_cfg.resume = true;
+    core::VoyagerAdapter resumed(tiny_voyager_config(), stream);
+    core::train_online(resumed, stream.size(), tc, resume_cfg);
+    EXPECT_EQ(core::checkpoint_stats().resumes, 1u);
+
+    // Exported as volatile counters: present in the full document,
+    // absent from the deterministic one.
+    StatRegistry reg;
+    core::export_checkpoint_stats(reg);
+    EXPECT_NE(reg.json().find("checkpoint.writes"), std::string::npos);
+    StatEmitOptions opts;
+    opts.include_volatile = false;
+    EXPECT_EQ(reg.json(opts).find("checkpoint.writes"),
+              std::string::npos);
+    std::filesystem::remove(path);
+    core::checkpoint_stats().reset();
+}
+
+}  // namespace
+}  // namespace voyager

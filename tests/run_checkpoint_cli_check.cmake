@@ -1,0 +1,84 @@
+# Test driver for the checkpoint_cli_equivalence ctest: the
+# fresh-process half of the kill-and-resume guarantee. A training run
+# interrupted at an epoch boundary (--stop_after) and resumed by a
+# *separate process* (--resume) must write byte-identical model
+# weights and a byte-identical deterministic stats document compared
+# to one uninterrupted run. Variables: CLI, WORKDIR.
+set(train_flags
+    --scale=tiny --epochs=4 --passes=1 --degree=1
+    --seq_len=4 --lstm_units=16 --max_samples=400)
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(trace ${WORKDIR}/trace.bin)
+set(ckpt ${WORKDIR}/train.ckpt)
+file(REMOVE ${ckpt})
+
+execute_process(
+    COMMAND ${CLI} gen --workload=bfs --scale=tiny --seed=3
+            --out=${trace}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace generation failed (rc=${rc})")
+endif()
+
+# Reference: one uninterrupted run.
+execute_process(
+    COMMAND ${CLI} train --trace=${trace} ${train_flags}
+            --model_out=${WORKDIR}/straight.bin
+            --stats_json=${WORKDIR}/straight.json
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "straight training run failed (rc=${rc})")
+endif()
+
+# "Killed" run: checkpoint every epoch, stop after 2 of 4.
+execute_process(
+    COMMAND ${CLI} train --trace=${trace} ${train_flags}
+            --checkpoint=${ckpt} --stop_after=2
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "interrupted training run failed (rc=${rc})")
+endif()
+if(NOT EXISTS ${ckpt})
+    message(FATAL_ERROR "no checkpoint written at the kill point")
+endif()
+
+# Resume in a fresh process and finish the run.
+execute_process(
+    COMMAND ${CLI} train --trace=${trace} ${train_flags}
+            --checkpoint=${ckpt} --resume
+            --model_out=${WORKDIR}/resumed.bin
+            --stats_json=${WORKDIR}/resumed.json
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed training run failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/straight.bin ${WORKDIR}/resumed.bin
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed model weights differ from the "
+                        "uninterrupted run")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/straight.json ${WORKDIR}/resumed.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed stats document differs from the "
+                        "uninterrupted run")
+endif()
+
+# The checkpoint file itself must validate and describe the kill point.
+execute_process(
+    COMMAND ${CLI} checkpoint-inspect --checkpoint=${ckpt}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE inspect_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "checkpoint-inspect failed (rc=${rc})")
+endif()
+if(NOT inspect_out MATCHES "voyager")
+    message(FATAL_ERROR "checkpoint-inspect output lacks the model "
+                        "name: ${inspect_out}")
+endif()

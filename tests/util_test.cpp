@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
 #include "util/config.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
@@ -302,6 +306,58 @@ TEST(Table, RejectsArityMismatch)
 {
     Table t({"a", "b"});
     EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The IEEE 802.3 check value and a couple of boundary cases.
+    EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("a"), 0xe8b7be43u);
+    EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+              0x414fa339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data = "incremental checksum input";
+    std::uint32_t state = crc32_init();
+    for (const char c : data)
+        state = crc32_update(state, &c, 1);
+    EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip)
+{
+    const std::string data = "checkpoint section payload";
+    const std::uint32_t good = crc32(data);
+    for (std::size_t i = 0; i < data.size() * 8; ++i) {
+        std::string bad = data;
+        bad[i / 8] = static_cast<char>(
+            static_cast<unsigned char>(bad[i / 8]) ^ (1u << (i % 8)));
+        EXPECT_NE(crc32(bad), good) << "flip at bit " << i;
+    }
+}
+
+TEST(AtomicFile, WritesContentsAndRemovesTemp)
+{
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "voyager_atomic_test.bin")
+                          .string();
+    write_file_atomic(path, "first");
+    write_file_atomic(path, "second");  // replace, not append
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str(), "second");
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, UnwritableDirectoryThrows)
+{
+    EXPECT_THROW(write_file_atomic("/nonexistent/dir/file.bin", "x"),
+                 std::runtime_error);
 }
 
 }  // namespace

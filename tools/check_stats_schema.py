@@ -39,6 +39,15 @@ KIND_FIELDS = {
                   "p50", "p90", "p99", "buckets"},
 }
 
+# The checkpoint subsystem's closed stat namespace: every
+# `checkpoint.*` name must be one of these counters (emitted by
+# core::export_checkpoint_stats).
+CHECKPOINT_STATS = {
+    "checkpoint.writes": "counter",
+    "checkpoint.bytes": "counter",
+    "checkpoint.resumes": "counter",
+}
+
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
@@ -135,6 +144,15 @@ def check_document(doc, errors):
     for name, body in stats.items():
         check_name(name, errors)
         check_stat(name, body, errors)
+        if name.startswith("checkpoint."):
+            expected = CHECKPOINT_STATS.get(name)
+            if expected is None:
+                errors.append(f"{name}: unknown checkpoint stat "
+                              f"(expected one of "
+                              f"{sorted(CHECKPOINT_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
 
 
 def main(argv):

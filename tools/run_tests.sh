@@ -14,12 +14,18 @@ cmake --build --preset release -j1
 echo "== release: ctest -L tier1 =="
 ctest --preset tier1 --output-on-failure
 
+echo "== release: ctest -L checkpoint =="
+ctest --preset checkpoint --output-on-failure
+
 echo "== asan-ubsan: configure + build =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j1
 
 echo "== asan-ubsan: ctest -L tier1 =="
 ctest --preset asan-tier1 --output-on-failure
+
+echo "== asan-ubsan: ctest -L checkpoint =="
+ctest --preset asan-checkpoint --output-on-failure
 
 echo "== stats schema validation =="
 out=$(mktemp /tmp/voyager_stats.XXXXXX.json)

@@ -7,12 +7,20 @@
  *   voyager_cli simulate --trace=trace.bin --prefetcher=isb --degree=2
  *   voyager_cli train    --trace=trace.bin [--model_out=m.bin]
  *                        [--epochs=5 --passes=4 --degree=1]
+ *                        [--checkpoint=FILE --checkpoint_every=1]
+ *                        [--resume] [--stop_after=N]
+ *                        [--stats_json=FILE]
+ *   voyager_cli checkpoint-inspect --checkpoint=FILE
  *
  * `gen` writes a synthetic benchmark trace; `stats` prints Table-2
  * style statistics; `simulate` runs a rule-based prefetcher through
  * the full simulator; `train` trains Voyager online on the trace's
- * LLC stream, reports unified accuracy/coverage and the simulated
- * IPC of its replayed predictions, and optionally saves the weights.
+ * LLC stream (optionally checkpointing/resuming; --stop_after is a
+ * deterministic kill point for the resume-equivalence tests), reports
+ * unified accuracy/coverage and the simulated IPC of its replayed
+ * predictions, and optionally saves the weights;
+ * `checkpoint-inspect` validates a checkpoint file and prints its
+ * manifest and training cursor.
  */
 #include <fstream>
 #include <iostream>
@@ -36,14 +44,19 @@ int
 usage()
 {
     std::cerr
-        << "usage: voyager_cli <gen|stats|simulate|train> [--key=value...]\n"
+        << "usage: voyager_cli"
+           " <gen|stats|simulate|train|checkpoint-inspect>"
+           " [--key=value...]\n"
            "  gen      --workload=<name> [--scale=tiny|small|paper]"
            " [--seed=N] --out=FILE\n"
            "  stats    --trace=FILE\n"
            "  simulate --trace=FILE [--prefetcher=isb] [--degree=1]"
            " [--scale=small]\n"
            "  train    --trace=FILE [--epochs=5] [--passes=4]"
-           " [--degree=1] [--model_out=FILE] [--scale=small]\n";
+           " [--degree=1] [--model_out=FILE] [--scale=small]\n"
+           "           [--checkpoint=FILE] [--checkpoint_every=1]"
+           " [--resume] [--stop_after=N] [--stats_json=FILE]\n"
+           "  checkpoint-inspect --checkpoint=FILE\n";
     return 2;
 }
 
@@ -161,8 +174,20 @@ cmd_train(const Config &cfg)
     train.max_train_samples_per_epoch =
         cfg.get_uint("max_samples", 8000);
     train.cumulative = cfg.get_bool("cumulative", true);
+
+    core::CheckpointConfig ckpt;
+    ckpt.path = cfg.get_string("checkpoint", "");
+    ckpt.every_epochs = cfg.get_uint("checkpoint_every", 1);
+    ckpt.resume = cfg.get_bool("resume", false);
+    ckpt.stop_after_epochs = cfg.get_uint("stop_after", 0);
     const auto res =
-        core::train_online(adapter, stream.size(), train);
+        core::train_online(adapter, stream.size(), train, ckpt);
+    if (ckpt.stop_after_epochs > 0 &&
+        res.epoch_losses.size() < std::min(train.epochs, stream.size())) {
+        std::cout << "stopped after " << res.epoch_losses.size()
+                  << " epochs; checkpoint at " << ckpt.path << "\n";
+        return 0;
+    }
 
     const auto metric = core::unified_accuracy_coverage(
         stream, res.predictions, res.first_predicted_index, 32);
@@ -193,6 +218,63 @@ cmd_train(const Config &cfg)
         nn::save_params(os, weights);
         std::cout << "saved model to " << model_out << "\n";
     }
+
+    const auto stats_json = cfg.get_string("stats_json", "");
+    if (!stats_json.empty()) {
+        // Deterministic document (no wall-clock stats): the resume-
+        // equivalence tests compare it byte-for-byte across runs.
+        StatRegistry reg;
+        res.export_stats(reg, "train");
+        reg.gauge("train.unified") = metric.value();
+        std::ofstream os(stats_json);
+        if (!os)
+            throw std::runtime_error("cannot open " + stats_json);
+        reg.write_json(os, StatEmitOptions{/*include_volatile=*/false});
+        std::cout << "wrote stats to " << stats_json << "\n";
+    }
+    return 0;
+}
+
+int
+cmd_checkpoint_inspect(const Config &cfg)
+{
+    const auto path = cfg.get_string("checkpoint", "");
+    if (path.empty())
+        throw std::invalid_argument("--checkpoint=FILE is required");
+    const auto reader = CheckpointReader::from_file(path);
+    const auto meta = core::read_checkpoint_meta(reader);
+
+    Table sections({"section", "bytes", "crc32"});
+    for (const auto &s : reader.manifest()) {
+        sections.add_row({s.name,
+                          strfmt("%llu", (unsigned long long)s.size),
+                          strfmt("%08x", s.crc)});
+    }
+    sections.print(std::cout);
+
+    Table tbl({"field", "value"});
+    tbl.add_row({"model", meta.model});
+    tbl.add_row({"stream size",
+                 strfmt("%llu", (unsigned long long)meta.stream_size)});
+    tbl.add_row({"epochs",
+                 strfmt("%llu", (unsigned long long)meta.epochs)});
+    tbl.add_row({"next epoch",
+                 strfmt("%llu", (unsigned long long)meta.next_epoch)});
+    tbl.add_row({"degree",
+                 strfmt("%llu", (unsigned long long)meta.degree)});
+    tbl.add_row({"train passes",
+                 strfmt("%llu", (unsigned long long)meta.train_passes)});
+    tbl.add_row(
+        {"max samples/epoch",
+         strfmt("%llu",
+                (unsigned long long)meta.max_train_samples_per_epoch)});
+    tbl.add_row({"cumulative", meta.cumulative ? "yes" : "no"});
+    tbl.add_row({"seed",
+                 strfmt("%llu", (unsigned long long)meta.seed)});
+    tbl.add_row({"trained samples",
+                 strfmt("%llu",
+                        (unsigned long long)meta.trained_samples)});
+    tbl.print(std::cout);
     return 0;
 }
 
@@ -214,6 +296,8 @@ main(int argc, char **argv)
             return cmd_simulate(cfg);
         if (cmd == "train")
             return cmd_train(cfg);
+        if (cmd == "checkpoint-inspect")
+            return cmd_checkpoint_inspect(cfg);
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
