@@ -10,8 +10,10 @@
  *   - measured training/inference time per sample (the 15-20x
  *     training-cost argument reduces to parameter ratio here).
  */
+#include <chrono>
 #include <cmath>
 #include <iostream>
+#include <numeric>
 #include <unordered_set>
 
 #include "common.hpp"
@@ -27,7 +29,8 @@ main(int argc, char **argv)
 
     const auto benchmarks = ctx.benchmarks({"pr", "mcf"});
 
-    Table t({"benchmark", "voyager acc/cov", "voyager speedup",
+    Table t({"benchmark", "voyager acc/cov", "int8 acc/cov",
+             "voyager speedup", "fp32 us/smp", "int8 us/smp",
              "voyager fp32", "pruned fp32", "pruned int8",
              "delta_lstm fp32", "temporal tables"});
     double sum_eff_voyager = 0.0;
@@ -50,6 +53,50 @@ main(int argc, char **argv)
 
         const auto rep = core::compress_model(adapter.model(), {});
 
+        // Post-compress inference comparison: the pruned+quantized
+        // weights run once through the fp32 path and once through the
+        // int8 engine (DESIGN.md §5.13), over the same eval slice —
+        // so the int8 acc/cov and us/sample columns measure the int8
+        // kernels actually executing, not a projection.
+        std::vector<std::size_t> eval(
+            stream.size() - res.first_predicted_index);
+        std::iota(eval.begin(), eval.end(),
+                  res.first_predicted_index);
+        const auto timed_predict = [&adapter, &eval] {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto preds = adapter.predict_on(eval, 1);
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            return std::make_pair(std::move(preds), secs);
+        };
+        const auto scatter =
+            [&stream, &eval](std::vector<std::vector<Addr>> preds) {
+                std::vector<std::vector<Addr>> out(stream.size());
+                for (std::size_t i = 0; i < eval.size(); ++i)
+                    out[eval[i]] = std::move(preds[i]);
+                return out;
+            };
+        auto [fp32_preds, fp32_secs] = timed_predict();
+        adapter.enable_int8_inference();
+        auto [int8_preds, int8_secs] = timed_predict();
+        const auto [scale_min, scale_max] =
+            adapter.int8_model()->weight_scale_range();
+        const auto int8_bytes = adapter.int8_model()->int8_bytes();
+        adapter.disable_int8_inference();
+        const double fp32_acc =
+            ctx.unified(name, scatter(std::move(fp32_preds)),
+                        res.first_predicted_index)
+                .value();
+        const double int8_acc =
+            ctx.unified(name, scatter(std::move(int8_preds)),
+                        res.first_predicted_index)
+                .value();
+        const double us = 1e6 / static_cast<double>(eval.size());
+        const double fp32_us = fp32_secs * us;
+        const double int8_us = int8_secs * us;
+
         std::unordered_set<Addr> lines;
         for (const auto &a : stream)
             lines.insert(a.line);
@@ -57,7 +104,8 @@ main(int argc, char **argv)
             lines.size());
         const auto dl_bytes = ctx.delta_lstm_bytes(name);
 
-        t.add_row({name, pct(acc), pct(speedup),
+        t.add_row({name, pct(acc), pct(int8_acc), pct(speedup),
+                   strfmt("%.1f", fp32_us), strfmt("%.1f", int8_us),
                    human_bytes(rep.dense_fp32_bytes),
                    human_bytes(rep.pruned_fp32_bytes),
                    human_bytes(rep.pruned_int8_bytes),
@@ -75,6 +123,24 @@ main(int argc, char **argv)
             rep.pruned_int8_bytes;
         ctx.stats().counter(p + ".delta_lstm_bytes") = dl_bytes;
         ctx.stats().counter(p + ".temporal_table_bytes") = temporal;
+
+        // Int8 engine stats (§5.13): quantization quality is
+        // deterministic; the us/sample timings are wall-clock and so
+        // registered volatile (excluded from golden documents).
+        ctx.stats().gauge(p + ".compress.int8.scale_min") = scale_min;
+        ctx.stats().gauge(p + ".compress.int8.scale_max") = scale_max;
+        ctx.stats().gauge(p + ".compress.int8.max_error") =
+            rep.max_quant_error;
+        ctx.stats().gauge(p + ".compress.int8.rms_error") =
+            rep.rms_quant_error;
+        ctx.stats().gauge(p + ".compress.int8.unified") = int8_acc;
+        ctx.stats().gauge(p + ".compress.int8.unified_fp32") =
+            fp32_acc;
+        ctx.stats().counter(p + ".compress.int8.bytes") = int8_bytes;
+        ctx.stats().gauge(p + ".compress.int8.us_per_sample",
+                          /*volatile_stat=*/true) = int8_us;
+        ctx.stats().gauge(p + ".compress.int8.fp32_us_per_sample",
+                          /*volatile_stat=*/true) = fp32_us;
 
         // Paper Fig. 17 footnote: efficiency = 1/(1+log10(storage)).
         // Storage counted in KiB and clamped to >= 1 so the score
@@ -105,7 +171,16 @@ main(int argc, char **argv)
                             1e6 * res.inference_seconds /
                                 std::max<std::uint64_t>(
                                     1, res.predicted_samples))
-                  << "\n";
+                  << "\n  int8 engine: fp32 "
+                  << strfmt("%.1f", fp32_us) << " vs int8 "
+                  << strfmt("%.1f us/sample", int8_us)
+                  << strfmt(" (%.2fx)", fp32_us /
+                                            std::max(1e-9, int8_us))
+                  << ", acc/cov fp32 " << pct(fp32_acc) << " vs int8 "
+                  << pct(int8_acc) << ", weight scales ["
+                  << strfmt("%.2g", scale_min) << ", "
+                  << strfmt("%.2g", scale_max) << "], rms err "
+                  << strfmt("%.2g", rep.rms_quant_error) << "\n";
     }
     std::cout << "\n";
     t.print(std::cout);

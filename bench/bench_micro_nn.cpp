@@ -17,6 +17,8 @@
 #include "nn/loss.hpp"
 #include "nn/lstm.hpp"
 #include "nn/ops.hpp"
+#include "nn/qmatrix.hpp"
+#include "nn/qops.hpp"
 #include "util/random.hpp"
 #include "util/stat_registry.hpp"
 
@@ -141,6 +143,61 @@ BENCHMARK(BM_GemmNtShaped<nn::gemm_nt>)
 BENCHMARK(BM_GemmNtShaped<nn::gemm_nt_ref>)
     ->Name("BM_GemmNtRefVoyager")
     ->Apply(GemmVoyagerShapes);
+
+// ---------------------------------------------------------------------
+// Int8 qgemm vs fp32 at inference shapes (DESIGN.md §5.13). The first
+// two arg sets are the Voyager head (batch x lstm_units -> vocab),
+// the acceptance shape for the >= 2x int8 speedup; the rest mirror
+// the LSTM-gate shapes above. BM_QgemmNtVoyager measures the whole
+// int8 call as deployed — dynamic activation quantization included —
+// and BM_GemmNnHeadFp32 is the packed fp32 kernel at identical
+// (m, k, n); divide the items/s for the speedup. BM_QgemmNtRefVoyager
+// is the naive reference baseline.
+// ---------------------------------------------------------------------
+
+void
+QgemmVoyagerShapes(benchmark::internal::Benchmark *b)
+{
+    b->Args({64, 64, 1024})
+        ->Args({64, 64, 16384})
+        ->Args({32, 128, 512})
+        ->Args({32, 256, 1024});
+}
+
+template <void (*Qgemm)(const nn::QActivations &, const nn::QMatrix &,
+                        Matrix &)>
+void
+BM_QgemmNtShaped(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto n = static_cast<std::size_t>(state.range(2));
+    Rng rng(14);
+    Matrix x(m, k);
+    Matrix w(n, k);
+    Matrix c(m, n);
+    nn::uniform_init(x, 1.0f, rng);
+    nn::uniform_init(w, 1.0f, rng);
+    const nn::QMatrix qw = nn::QMatrix::quantize(w, /*transpose=*/false);
+    qw.pack();
+    nn::QActivations qa;
+    for (auto _ : state) {
+        nn::quantize_activations(x, qa);
+        c.zero();
+        Qgemm(qa, qw, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_QgemmNtShaped<nn::qgemm_nt>)
+    ->Name("BM_QgemmNtVoyager")
+    ->Apply(QgemmVoyagerShapes);
+BENCHMARK(BM_QgemmNtShaped<nn::qgemm_nt_ref>)
+    ->Name("BM_QgemmNtRefVoyager")
+    ->Apply(QgemmVoyagerShapes);
+BENCHMARK(BM_GemmNnShaped<nn::gemm_nn>)
+    ->Name("BM_GemmNnHeadFp32")
+    ->Apply(QgemmVoyagerShapes);
 
 void
 BM_LstmForward(benchmark::State &state)
@@ -308,6 +365,7 @@ report_op_stats()
     };
     const Row rows[] = {
         {"gemm", s.gemm},
+        {"qgemm", s.qgemm},
         {"lstm_gate", s.lstm_gate},
         {"attention", s.attention},
     };
@@ -347,6 +405,28 @@ extract_flag(int &argc, char **argv, const std::string &flag)
     return value;
 }
 
+/**
+ * Map `--op=<class>` to a benchmark filter regex so CI smoke runs can
+ * select one kernel family (`--op=qgemm` runs the int8 kernels plus
+ * their fp32 comparison rows). Unknown values pass through as a raw
+ * regex.
+ */
+std::string
+op_filter(const std::string &op)
+{
+    if (op == "qgemm")
+        return "BM_Qgemm|BM_GemmNnHeadFp32";
+    if (op == "gemm")
+        return "BM_Gemm";
+    if (op == "lstm")
+        return "BM_Lstm";
+    if (op == "attention")
+        return "BM_MoeAttention";
+    if (op == "embedding")
+        return "BM_EmbeddingGather";
+    return op;
+}
+
 }  // namespace
 
 int
@@ -354,6 +434,15 @@ main(int argc, char **argv)
 {
     const std::string stats_json = extract_flag(argc, argv, "stats_json");
     const std::string stats_csv = extract_flag(argc, argv, "stats_csv");
+    const std::string op = extract_flag(argc, argv, "op");
+    std::vector<char *> args(argv, argv + argc);
+    std::string filter_arg;
+    if (!op.empty()) {
+        filter_arg = "--benchmark_filter=" + op_filter(op);
+        args.push_back(filter_arg.data());
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

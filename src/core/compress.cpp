@@ -17,6 +17,7 @@ compress_model(VoyagerModel &model, const CompressConfig &cfg)
         &model.offset_embedding().param().value,
     };
 
+    nn::QuantError err;
     for (nn::Matrix *w : model.weights()) {
         const bool is_embedding =
             std::find(embeddings.begin(), embeddings.end(), w) !=
@@ -25,8 +26,12 @@ compress_model(VoyagerModel &model, const CompressConfig &cfg)
             is_embedding ? cfg.prune_sparsity : cfg.dense_layer_sparsity;
         nn::magnitude_prune(*w, sparsity);
         if (cfg.quantize_int8) {
-            rep.max_quant_error = std::max(
-                rep.max_quant_error, nn::quantize_dequantize_int8(*w));
+            // Scale axis mirrors QMatrix: embedding tables and bias
+            // row vectors per-row, 2-D weights per output channel.
+            const nn::QuantAxis axis =
+                is_embedding || w->rows() == 1 ? nn::QuantAxis::Row
+                                               : nn::QuantAxis::Col;
+            err.merge(nn::quantize_dequantize_int8(*w, axis));
         }
         const auto s32 = nn::measure_storage(*w, 32);
         const auto s8 = nn::measure_storage(*w, 8);
@@ -35,6 +40,8 @@ compress_model(VoyagerModel &model, const CompressConfig &cfg)
         rep.pruned_fp32_bytes += s32.sparse_bytes();
         rep.pruned_int8_bytes += s8.sparse_bytes();
     }
+    rep.max_quant_error = err.max_err;
+    rep.rms_quant_error = err.rms();
     std::uint64_t nonzero = 0;
     for (const nn::Matrix *w :
          const_cast<const VoyagerModel &>(model).weights())

@@ -25,6 +25,8 @@ struct CompressionReport
     std::uint64_t pruned_int8_bytes = 0;     ///< sparse, 8-bit values
     double sparsity = 0.0;                   ///< fraction pruned
     float max_quant_error = 0.0f;
+    /** RMS quantization error over every weight element. */
+    double rms_quant_error = 0.0;
 };
 
 /** Compression knobs (paper: 80% pruning, int8). */
@@ -40,6 +42,10 @@ struct CompressConfig
  * Prune + quantize the model in place and report storage at each
  * stage. Embedding tables are pruned at `prune_sparsity`; LSTM/head
  * weights at `dense_layer_sparsity` (they are small but sensitive).
+ * Quantization is symmetric per-channel on the same int8 grid as
+ * QMatrix — per-row for embeddings and bias vectors, per-output-
+ * channel (column) for 2-D weights — so a QuantizedVoyagerModel
+ * built from the compressed model executes the identical weights.
  */
 CompressionReport compress_model(VoyagerModel &model,
                                  const CompressConfig &cfg = {});

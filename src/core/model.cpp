@@ -274,18 +274,16 @@ VoyagerModel::train_step(const VoyagerBatch &batch)
 }
 
 std::vector<std::vector<TokenPrediction>>
-VoyagerModel::predict(const VoyagerBatch &batch, std::size_t k)
+rank_token_predictions(const Matrix &page_logits,
+                       const Matrix &offset_logits, bool use_bce,
+                       std::size_t k)
 {
-    forward(batch, /*training=*/false);
-
     // Head activations -> probabilities. With BCE training the heads
     // are independent sigmoids; with CE they are softmaxes. Either
     // way, ranking by (page_prob * offset_prob) picks the paper's
     // highest-probability (page, offset) pair.
-    Matrix page_probs = page_logits_;
-    Matrix offset_probs = offset_logits_;
-    const bool use_bce =
-        cfg_.multi_label && cfg_.multi_label_loss == MultiLabelLoss::Bce;
+    Matrix page_probs = page_logits;
+    Matrix offset_probs = offset_logits;
     if (use_bce) {
         nn::sigmoid_inplace(page_probs);
         nn::sigmoid_inplace(offset_probs);
@@ -294,8 +292,8 @@ VoyagerModel::predict(const VoyagerBatch &batch, std::size_t k)
         nn::softmax_rows(offset_probs);
     }
 
-    std::vector<std::vector<TokenPrediction>> out(batch.batch);
-    for (std::size_t b = 0; b < batch.batch; ++b) {
+    std::vector<std::vector<TokenPrediction>> out(page_probs.rows());
+    for (std::size_t b = 0; b < page_probs.rows(); ++b) {
         const auto top_pages = nn::topk_row(page_probs, b, k);
         const auto top_offsets = nn::topk_row(offset_probs, b, k);
         std::vector<TokenPrediction> cands;
@@ -317,6 +315,16 @@ VoyagerModel::predict(const VoyagerBatch &batch, std::size_t k)
         out[b] = std::move(cands);
     }
     return out;
+}
+
+std::vector<std::vector<TokenPrediction>>
+VoyagerModel::predict(const VoyagerBatch &batch, std::size_t k)
+{
+    forward(batch, /*training=*/false);
+    const bool use_bce =
+        cfg_.multi_label && cfg_.multi_label_loss == MultiLabelLoss::Bce;
+    return rank_token_predictions(page_logits_, offset_logits_,
+                                  use_bce, k);
 }
 
 void

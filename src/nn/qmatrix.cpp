@@ -1,0 +1,137 @@
+#include "nn/qmatrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace voyager::nn {
+
+namespace {
+
+constexpr std::size_t QNR = 16;  ///< output channels per VNNI tile
+constexpr std::size_t QKG = 4;   ///< k values per VNNI dot group
+
+}  // namespace
+
+void
+quantize_activations(const Matrix &x, QActivations &out)
+{
+    const std::size_t m = x.rows();
+    const std::size_t k = x.cols();
+    out.rows = m;
+    out.cols = k;
+    out.stride = (k + QKG - 1) / QKG * QKG;
+    out.q.assign(m * out.stride, 0);
+    out.scales.assign(m, 1.0f);
+    out.zero_points.assign(m, 0);
+
+    for (std::size_t r = 0; r < m; ++r) {
+        const float *src = x.row(r);
+        // Dynamic per-row range, forced to include 0 so the zero
+        // point is exactly representable (padding bytes = za would
+        // otherwise inject phantom values; padding with qa that
+        // dequantizes to 0 is wrong too unless 0 is on the grid — so
+        // put it on the grid).
+        float lo = 0.0f;
+        float hi = 0.0f;
+        for (std::size_t j = 0; j < k; ++j) {
+            lo = std::min(lo, src[j]);
+            hi = std::max(hi, src[j]);
+        }
+        if (hi == lo)  // all-zero row: scale 1, zp 0, q already 0
+            continue;
+        const float scale = (hi - lo) / 255.0f;
+        const float inv = 1.0f / scale;
+        const auto zp = std::clamp<std::int32_t>(
+            static_cast<std::int32_t>(std::lround(-lo * inv)), 0, 255);
+        out.scales[r] = scale;
+        out.zero_points[r] = zp;
+
+        // Hot path (called per inference batch/timestep): branch-free
+        // clamp-then-truncate, no libm rounding calls, so the loop
+        // auto-vectorizes. After the clamp to [0, 255] the value is
+        // non-negative, where +0.5-and-truncate is round-to-nearest.
+        const auto zpf = static_cast<float>(zp);
+        std::uint8_t *dst = out.q.data() + r * out.stride;
+        for (std::size_t j = 0; j < k; ++j) {
+            float f = src[j] * inv + zpf;
+            f = std::min(std::max(f, 0.0f), 255.0f);
+            dst[j] = static_cast<std::uint8_t>(f + 0.5f);
+        }
+        // Padding bytes stay 0; a 0 weight byte sits opposite them in
+        // the packed panels, so they contribute exactly nothing.
+    }
+}
+
+QMatrix
+QMatrix::quantize(const Matrix &w, bool transpose)
+{
+    QMatrix out;
+    out.rows_ = transpose ? w.cols() : w.rows();
+    out.cols_ = transpose ? w.rows() : w.cols();
+    out.q_.assign(out.rows_ * out.cols_, 0);
+    out.scales_.assign(out.rows_, 0.0f);
+    out.row_sums_.assign(out.rows_, 0);
+
+    for (std::size_t r = 0; r < out.rows_; ++r) {
+        float maxabs = 0.0f;
+        for (std::size_t c = 0; c < out.cols_; ++c) {
+            const float v = transpose ? w.at(c, r) : w.at(r, c);
+            maxabs = std::max(maxabs, std::fabs(v));
+        }
+        if (maxabs == 0.0f)
+            continue;  // scale 0: the row is exactly zero everywhere
+        const float scale = maxabs / 127.0f;
+        const float inv = 127.0f / maxabs;
+        out.scales_[r] = scale;
+        std::int8_t *dst = out.q_.data() + r * out.cols_;
+        std::int32_t sum = 0;
+        for (std::size_t c = 0; c < out.cols_; ++c) {
+            const float v = transpose ? w.at(c, r) : w.at(r, c);
+            const auto q = std::clamp<std::int32_t>(
+                static_cast<std::int32_t>(std::lround(v * inv)), -127,
+                127);
+            dst[c] = static_cast<std::int8_t>(q);
+            sum += q;
+        }
+        out.row_sums_[r] = sum;
+    }
+    return out;
+}
+
+Matrix
+QMatrix::dequantize() const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::int8_t *src = row(r);
+        const float s = scales_[r];
+        float *dst = out.row(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            dst[c] = static_cast<float>(src[c]) * s;
+    }
+    return out;
+}
+
+void
+QMatrix::pack() const
+{
+    if (!packed_.empty() || rows_ == 0 || cols_ == 0)
+        return;
+    const std::size_t kg = (cols_ + QKG - 1) / QKG;
+    const std::size_t tiles = (rows_ + QNR - 1) / QNR;
+    packed_.assign(tiles * kg * QNR * QKG, 0);
+    for (std::size_t jt = 0; jt < tiles; ++jt) {
+        std::int8_t *panel = packed_.data() + jt * kg * QNR * QKG;
+        const std::size_t jrem = std::min(QNR, rows_ - jt * QNR);
+        for (std::size_t col = 0; col < jrem; ++col) {
+            const std::int8_t *src = row(jt * QNR + col);
+            for (std::size_t p = 0; p < cols_; ++p) {
+                const std::size_t g = p / QKG;
+                const std::size_t b = p % QKG;
+                panel[(g * QNR + col) * QKG + b] = src[p];
+            }
+        }
+    }
+}
+
+}  // namespace voyager::nn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Int8 GEMM: u8 activations x s8 weights -> int32 accumulate -> fp32
+ * requantize. Mirrors the fp32 kernel family in ops.hpp: `qgemm_nt`
+ * is the packed, register-blocked production kernel (AVX512-VNNI when
+ * the target has it, an integer-exact portable loop otherwise) and
+ * `qgemm_nt_ref` keeps naive loops as an independently-written
+ * reference for equivalence tests. Integer accumulation makes the
+ * kernel-vs-reference comparison exact (the ref widens to int64 to
+ * prove the kernel's int32 accumulators never overflowed).
+ *
+ * Same ACCUMULATE contract as the fp32 GEMMs: `C += A * W^T` where
+ * A is (m, k) quantized activations and W is a (n, k) QMatrix (rows =
+ * output channels). Callers zero `c` first (Matrix::resize()
+ * zero-fills).
+ *
+ * Accumulator safety: each u8 x s8 product is at most 255*128 =
+ * 32,640, so int32 overflows only beyond k ~= 65,792. The kernels
+ * assert k < 65,536; Voyager's largest reduction is ~600.
+ */
+#pragma once
+
+#include "nn/matrix.hpp"
+#include "nn/qmatrix.hpp"
+
+namespace voyager::nn {
+
+/**
+ * C(m,n) += A(m,k) * W^T, requantized to fp32. Packs `w` lazily on
+ * first use (cached in the QMatrix). Charges `nn.qgemm` op stats with
+ * work = 2*m*n*k.
+ */
+void qgemm_nt(const QActivations &a, const QMatrix &w, Matrix &c);
+
+/** Naive reference; bit-identical int32 accumulation. No op stats. */
+void qgemm_nt_ref(const QActivations &a, const QMatrix &w, Matrix &c);
+
+}  // namespace voyager::nn

@@ -40,32 +40,57 @@ nonzero_count(const Matrix &m)
     return n;
 }
 
-float
-quantize_dequantize_int8(Matrix &m)
+double
+QuantError::rms() const
 {
-    if (m.size() == 0)
-        return 0.0f;
-    float lo = m.data()[0];
-    float hi = lo;
-    const float *d = m.data();
-    for (std::size_t i = 0; i < m.size(); ++i) {
-        lo = std::min(lo, d[i]);
-        hi = std::max(hi, d[i]);
+    return elements
+        ? std::sqrt(sum_sq / static_cast<double>(elements))
+        : 0.0;
+}
+
+void
+QuantError::merge(const QuantError &o)
+{
+    max_err = std::max(max_err, o.max_err);
+    sum_sq += o.sum_sq;
+    elements += o.elements;
+}
+
+QuantError
+quantize_dequantize_int8(Matrix &m, QuantAxis axis)
+{
+    QuantError err;
+    err.elements = m.size();
+    const std::size_t channels =
+        axis == QuantAxis::Row ? m.rows() : m.cols();
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const std::size_t len =
+            axis == QuantAxis::Row ? m.cols() : m.rows();
+        float maxabs = 0.0f;
+        for (std::size_t i = 0; i < len; ++i) {
+            const float v =
+                axis == QuantAxis::Row ? m.at(ch, i) : m.at(i, ch);
+            maxabs = std::max(maxabs, std::fabs(v));
+        }
+        if (maxabs == 0.0f)
+            continue;  // all-zero channel: exactly representable
+        const float scale = maxabs / 127.0f;
+        const float inv = 127.0f / maxabs;
+        for (std::size_t i = 0; i < len; ++i) {
+            float &w = axis == QuantAxis::Row ? m.at(ch, i)
+                                              : m.at(i, ch);
+            if (w == 0.0f)
+                continue;  // pruned zeros stay exactly zero
+            const auto q = std::clamp<long>(std::lround(w * inv),
+                                            -127, 127);
+            const float deq = static_cast<float>(q) * scale;
+            const float e = std::fabs(deq - w);
+            err.max_err = std::max(err.max_err, e);
+            err.sum_sq += static_cast<double>(e) * e;
+            w = deq;
+        }
     }
-    if (lo == hi)
-        return 0.0f;
-    const float scale = (hi - lo) / 255.0f;
-    float max_err = 0.0f;
-    float *w = m.data();
-    for (std::size_t i = 0; i < m.size(); ++i) {
-        if (w[i] == 0.0f)
-            continue;  // preserve pruned zeros exactly
-        const float q = std::round((w[i] - lo) / scale);
-        const float deq = lo + q * scale;
-        max_err = std::max(max_err, std::fabs(deq - w[i]));
-        w[i] = deq;
-    }
-    return max_err;
+    return err;
 }
 
 TensorStorage

@@ -1,9 +1,12 @@
 /**
  * @file
- * Model compression: magnitude pruning and int8 affine quantization
- * (paper §5.4: 80% pruning -> 5-7x, int8 -> 4x, with <1% accuracy
- * loss). Quantization here is quantize-dequantize so the compressed
- * model can be re-evaluated with the ordinary float kernels.
+ * Model compression: magnitude pruning and symmetric per-channel
+ * int8 quantization (paper §5.4: 80% pruning -> 5-7x, int8 -> 4x,
+ * with <1% accuracy loss). Quantization here is quantize-dequantize
+ * so the compressed model can be re-evaluated with the ordinary
+ * float kernels; the scheme matches QMatrix (qmatrix.hpp) bit for
+ * bit, so the int8 engine built from a compressed model executes the
+ * *same* weights the float kernels see.
  */
 #pragma once
 
@@ -19,11 +22,36 @@ void magnitude_prune(Matrix &m, double sparsity);
 /** Number of nonzero entries. */
 std::uint64_t nonzero_count(const Matrix &m);
 
+/** Which axis carries the per-channel quantization scales. */
+enum class QuantAxis
+{
+    Row,  ///< one scale per row (embedding tables, bias vectors)
+    Col,  ///< one scale per column = per output channel (2-D weights)
+};
+
+/** Error introduced by one quantize-dequantize pass. */
+struct QuantError
+{
+    float max_err = 0.0f;       ///< max absolute elementwise error
+    double sum_sq = 0.0;        ///< sum of squared errors
+    std::uint64_t elements = 0; ///< elements covered (incl. zeros)
+
+    /** Root-mean-square error over all covered elements. */
+    double rms() const;
+
+    /** Fold another tensor's error into this (for model totals). */
+    void merge(const QuantError &o);
+};
+
 /**
- * Affine int8 quantize-dequantize (per-tensor scale/zero-point).
- * @return the max absolute quantization error introduced.
+ * Symmetric per-channel int8 quantize-dequantize: each channel
+ * (row or column per `axis`) snaps to the grid scale * [-127, 127]
+ * with scale = max|channel| / 127. Matches QMatrix::quantize exactly,
+ * so re-quantizing the result is the identity and pruned zeros stay
+ * exactly zero. @return max and RMS error introduced.
  */
-float quantize_dequantize_int8(Matrix &m);
+QuantError quantize_dequantize_int8(Matrix &m,
+                                    QuantAxis axis = QuantAxis::Row);
 
 /** Storage accounting for a (possibly pruned/quantized) tensor. */
 struct TensorStorage
@@ -32,19 +60,20 @@ struct TensorStorage
     std::uint64_t nonzero = 0;
     std::uint32_t bits_per_weight = 32;
 
-    /** Dense storage at the given precision. */
+    /** Dense storage at the given precision (sub-byte tails billed). */
     std::uint64_t dense_bytes() const
     {
-        return elements * bits_per_weight / 8;
+        return (elements * bits_per_weight + 7) / 8;
     }
     /**
      * Sparse storage: values at `bits_per_weight` plus a 1-bit
-     * presence bitmap (CSR-style bitmap encoding).
+     * presence bitmap (CSR-style bitmap encoding). Both terms round
+     * up: a trailing partial byte still occupies a whole byte.
      */
     std::uint64_t
     sparse_bytes() const
     {
-        return nonzero * bits_per_weight / 8 + elements / 8;
+        return (nonzero * bits_per_weight + 7) / 8 + (elements + 7) / 8;
     }
 };
 

@@ -18,6 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "nn/matrix.hpp"
+#include "nn/ops.hpp"
+#include "nn/qmatrix.hpp"
+#include "nn/qops.hpp"
 #include "prefetch/registry.hpp"
 #include "sim/simulator.hpp"
 #include "trace/gen/workloads.hpp"
@@ -107,6 +111,25 @@ run_fig5_tiny()
         r.export_stats(reg, prefix);
         pf->export_stats(reg, prefix);
     }
+    // Deterministic int8-engine section (DESIGN.md §5.13): one qgemm
+    // on fixed ramp inputs pins the nn.* op counters — in particular
+    // nn.qgemm.calls and nn.qgemm.ops (= 2mnk). The .seconds gauges
+    // are wall-clock and registered volatile, so they are excluded
+    // below along with every other volatile stat.
+    nn::op_stats().reset();
+    nn::Matrix x(3, 8);
+    nn::Matrix w(5, 8);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(i % 7) - 3.0f;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(i % 5) - 2.0f;
+    const auto qw = nn::QMatrix::quantize(w, /*transpose=*/false);
+    nn::QActivations qa;
+    nn::quantize_activations(x, qa);
+    nn::Matrix c(3, 5);
+    nn::qgemm_nt(qa, qw, c);
+    nn::export_op_stats(reg);
+
     StatEmitOptions opts;
     opts.include_volatile = false;
     return reg.json(opts);

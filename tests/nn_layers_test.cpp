@@ -239,8 +239,13 @@ TEST(Quantize, Int8ErrorBounded)
     Rng rng(14);
     Matrix m(8, 8);
     uniform_init(m, 1.0f, rng);
-    const float max_err = quantize_dequantize_int8(m);
-    EXPECT_LE(max_err, 2.0f / 255.0f + 1e-6f);
+    const QuantError err = quantize_dequantize_int8(m);
+    // Symmetric per-row grid: error <= scale/2 = max|row|/254 <= 1/254.
+    EXPECT_LE(err.max_err, 1.0f / 254.0f + 1e-6f);
+    EXPECT_GT(err.max_err, 0.0f);
+    EXPECT_LE(err.rms(), err.max_err);
+    EXPECT_GT(err.rms(), 0.0);
+    EXPECT_EQ(err.elements, 64u);
 }
 
 TEST(Quantize, StorageAccounting)

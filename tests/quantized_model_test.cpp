@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Int8 inference engine tests (DESIGN.md §5.13): quantized layers
+ * track their fp32 counterparts, and an end-to-end check that a
+ * QuantizedVoyagerModel built from a compressed trained model agrees
+ * with the quantize-dequantize fp32 path on >= 99% of top-1
+ * predictions — the §5.4 claim, measured on the path that actually
+ * executes int8.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/compress.hpp"
+#include "core/qmodel.hpp"
+#include "core/trainer.hpp"
+#include "nn/qlayers.hpp"
+#include "sim/simulator.hpp"
+#include "trace/gen/workloads.hpp"
+
+namespace voyager {
+namespace {
+
+using core::QuantizedVoyagerModel;
+using nn::Matrix;
+using trace::gen::Scale;
+
+Matrix
+random_matrix(std::size_t r, std::size_t c, float scale,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(r, c);
+    nn::uniform_init(m, scale, rng);
+    return m;
+}
+
+core::VoyagerConfig
+small_voyager()
+{
+    core::VoyagerConfig cfg;
+    cfg.seq_len = 8;
+    cfg.pc_embed_dim = 8;
+    cfg.page_embed_dim = 16;
+    cfg.num_experts = 4;
+    cfg.lstm_units = 32;
+    cfg.batch_size = 32;
+    cfg.learning_rate = 1e-2;
+    cfg.lr_decay_ratio = 1.0;
+    return cfg;
+}
+
+TEST(QuantizedLayers, EmbeddingMatchesFp32PerRowGrid)
+{
+    Rng rng(31);
+    nn::Embedding emb(20, 12, rng);
+    const nn::QuantizedEmbedding qemb(emb);
+    const std::vector<std::int32_t> ids = {0, 7, 19, 7};
+    Matrix fp;
+    Matrix q;
+    emb.forward(ids, fp);
+    qemb.forward(ids, q);
+    ASSERT_EQ(q.rows(), 4u);
+    ASSERT_EQ(q.cols(), 12u);
+    for (std::size_t b = 0; b < ids.size(); ++b) {
+        const auto row = static_cast<std::size_t>(ids[b]);
+        const float tol =
+            qemb.table().scale(row) * 0.5f + 1e-7f;
+        for (std::size_t j = 0; j < 12; ++j)
+            EXPECT_NEAR(q.at(b, j), fp.at(b, j), tol);
+    }
+    EXPECT_LT(qemb.int8_bytes(), 20u * 12u * sizeof(float));
+}
+
+TEST(QuantizedLayers, LinearTracksFp32)
+{
+    Rng rng(32);
+    nn::Linear lin(24, 40, rng);
+    nn::QuantizedLinear qlin(lin);
+    EXPECT_EQ(qlin.in_dim(), 24u);
+    EXPECT_EQ(qlin.out_dim(), 40u);
+    const Matrix x = random_matrix(5, 24, 1.0f, 33);
+    Matrix y_fp;
+    Matrix y_q;
+    lin.forward(x, y_fp);
+    qlin.forward(x, y_q);
+    double err = 0.0;
+    double mag = 0.0;
+    for (std::size_t i = 0; i < y_fp.size(); ++i) {
+        err += std::fabs(y_q.data()[i] - y_fp.data()[i]);
+        mag += std::fabs(y_fp.data()[i]);
+    }
+    // Mean |error| well under mean |activation|: int8 tracks fp32.
+    EXPECT_LT(err, 0.05 * mag);
+}
+
+TEST(QuantizedLayers, LstmTracksFp32)
+{
+    Rng rng(34);
+    nn::Lstm lstm(16, 24, rng);
+    nn::QuantizedLstm qlstm(lstm);
+    EXPECT_EQ(qlstm.in_dim(), 16u);
+    EXPECT_EQ(qlstm.hidden(), 24u);
+    std::vector<Matrix> xs;
+    for (std::size_t t = 0; t < 4; ++t)
+        xs.push_back(random_matrix(6, 16, 1.0f, 40 + t));
+    Matrix h_fp;
+    Matrix h_q;
+    lstm.forward(xs, h_fp);
+    qlstm.forward(xs, h_q);
+    ASSERT_EQ(h_q.rows(), 6u);
+    ASSERT_EQ(h_q.cols(), 24u);
+    for (std::size_t i = 0; i < h_fp.size(); ++i)
+        EXPECT_NEAR(h_q.data()[i], h_fp.data()[i], 0.05f);
+}
+
+TEST(QuantizedModel, Int8PredictTopOneAgreesWithFp32)
+{
+    // Train a tiny model online (integration-test idiom), compress
+    // it onto the int8 grid, then compare the *executed int8*
+    // prediction path against the quantize-dequantize fp32 path.
+    // The weights are bit-identical by construction, so >= 99% top-1
+    // agreement is the acceptance bar on activation quantization.
+    const auto stream_src =
+        trace::gen::make_workload("pr", Scale::Tiny, 4);
+    const auto cfg = sim::tiny_sim_config();
+    const auto stream = extract_llc_stream(stream_src, cfg);
+    core::VoyagerAdapter voyager(small_voyager(), stream);
+    core::OnlineTrainConfig ocfg;
+    ocfg.epochs = 4;
+    ocfg.train_passes = 8;
+    ocfg.max_train_samples_per_epoch = 1200;
+    train_online(voyager, stream.size(), ocfg);
+
+    const auto rep = core::compress_model(voyager.model());
+    EXPECT_GT(rep.max_quant_error, 0.0f);
+    EXPECT_GT(rep.rms_quant_error, 0.0);
+    EXPECT_LE(rep.rms_quant_error,
+              static_cast<double>(rep.max_quant_error));
+
+    std::vector<std::size_t> idx;
+    for (std::size_t i = stream.size() / 2;
+         i < stream.size() / 2 + 400 && i < stream.size(); ++i)
+        idx.push_back(i);
+
+    ASSERT_EQ(voyager.int8_model(), nullptr);
+    const auto fp32 = voyager.predict_on(idx, 1);
+    voyager.enable_int8_inference();
+    ASSERT_NE(voyager.int8_model(), nullptr);
+    const auto [scale_lo, scale_hi] =
+        voyager.int8_model()->weight_scale_range();
+    EXPECT_GT(scale_lo, 0.0f);
+    EXPECT_GE(scale_hi, scale_lo);
+    EXPECT_LT(voyager.int8_model()->int8_bytes(),
+              voyager.model().parameter_bytes() / 3);
+    const auto int8 = voyager.predict_on(idx, 1);
+    voyager.disable_int8_inference();
+    ASSERT_EQ(voyager.int8_model(), nullptr);
+
+    std::size_t same = 0;
+    std::size_t considered = 0;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        if (fp32[k].empty() && int8[k].empty())
+            continue;
+        ++considered;
+        if (!fp32[k].empty() && !int8[k].empty())
+            same += fp32[k][0] == int8[k][0];
+    }
+    ASSERT_GT(considered, 100u);
+    const double agreement = static_cast<double>(same) /
+                             static_cast<double>(considered);
+    std::cout << "int8 top-1 agreement: " << same << "/" << considered
+              << " (" << 100.0 * agreement << "%)\n";
+    EXPECT_GE(agreement, 0.99)
+        << same << "/" << considered << " top-1 predictions agree";
+}
+
+}  // namespace
+}  // namespace voyager

@@ -48,6 +48,28 @@ CHECKPOINT_STATS = {
     "checkpoint.resumes": "counter",
 }
 
+# The int8 inference engine's closed namespaces (DESIGN.md section
+# 5.13). `nn.qgemm.*` comes from nn::export_op_stats; any stat name
+# containing a `.compress.int8.` infix (benches prefix it with e.g.
+# `fig17.<bench>`) must end with one of these leaves.
+QGEMM_STATS = {
+    "nn.qgemm.calls": "counter",
+    "nn.qgemm.ops": "counter",
+    "nn.qgemm.seconds": "gauge",
+}
+
+COMPRESS_INT8_LEAVES = {
+    "scale_min": "gauge",
+    "scale_max": "gauge",
+    "max_error": "gauge",
+    "rms_error": "gauge",
+    "unified": "gauge",
+    "unified_fp32": "gauge",
+    "bytes": "counter",
+    "us_per_sample": "gauge",
+    "fp32_us_per_sample": "gauge",
+}
+
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
@@ -150,6 +172,24 @@ def check_document(doc, errors):
                 errors.append(f"{name}: unknown checkpoint stat "
                               f"(expected one of "
                               f"{sorted(CHECKPOINT_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
+        if name.startswith("nn.qgemm."):
+            expected = QGEMM_STATS.get(name)
+            if expected is None:
+                errors.append(f"{name}: unknown nn.qgemm stat "
+                              f"(expected one of {sorted(QGEMM_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
+        if ".compress.int8." in name:
+            leaf = name.split(".compress.int8.", 1)[1]
+            expected = COMPRESS_INT8_LEAVES.get(leaf)
+            if expected is None:
+                errors.append(f"{name}: unknown compress.int8 leaf "
+                              f"(expected one of "
+                              f"{sorted(COMPRESS_INT8_LEAVES)})")
             elif isinstance(body, dict) and body.get("kind") != expected:
                 errors.append(f"{name}: must be a {expected}, got "
                               f"{body.get('kind')!r}")

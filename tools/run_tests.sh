@@ -33,4 +33,13 @@ trap 'rm -f "$out"' EXIT
 ./build/bench/bench_table1_hparams --stats_json="$out" >/dev/null
 python3 tools/check_stats_schema.py "$out"
 
+# Int8 engine smoke (DESIGN.md section 5.13): the qgemm microkernel
+# benchmarks must run and report throughput. The correctness tests
+# (test_quantized) already ran in both tier-1 gates above; this just
+# proves the VNNI/portable kernel executes outside gtest too.
+echo "== bench_micro_nn qgemm smoke =="
+qgemm_out=$(./build/bench/bench_micro_nn --op=qgemm \
+    --benchmark_min_time=0.05 2>&1)
+printf '%s\n' "$qgemm_out" | grep -q "BM_QgemmNtVoyager"
+
 echo "all gates passed"
