@@ -58,5 +58,5 @@ main(int argc, char **argv)
                  "suffers from offset aliasing (paper §4.2.1); BCE "
                  "converges more slowly than SoftmaxBest at this scale "
                  "(DESIGN.md §5.7).\n";
-    return 0;
+    return ctx.exit_code();
 }

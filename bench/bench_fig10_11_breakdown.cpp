@@ -100,5 +100,5 @@ main(int argc, char **argv)
     std::cout << "\nmean covered: isb " << pct(isb_cov / n)
               << " vs voyager w/o delta " << pct(voy_cov / n)
               << "  (paper: 45.2%+13.1% vs 56.8%+22.2%)\n";
-    return 0;
+    return ctx.exit_code();
 }

@@ -74,5 +74,5 @@ main(int argc, char **argv)
     std::cout << "\nexpected shape: voyager-global > stms, voyager-pc > "
                  "isb, and dropping the PC-history feature changes "
                  "little (paper Fig. 12).\n";
-    return 0;
+    return ctx.exit_code();
 }

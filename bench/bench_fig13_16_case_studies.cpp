@@ -113,5 +113,5 @@ main(int argc, char **argv)
                  "gather and the branch-split vec[leave] improve "
                  "sharply under Voyager (paper: 23.5%->95.1% and "
                  "~44%->~88%).\n";
-    return 0;
+    return ctx.exit_code();
 }

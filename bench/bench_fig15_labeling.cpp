@@ -70,5 +70,5 @@ main(int argc, char **argv)
     std::cout << "\nexpected shape (paper Fig. 15): multi-label >= best "
                  "single scheme on average; different benchmarks prefer "
                  "different single schemes.\n";
-    return 0;
+    return ctx.exit_code();
 }

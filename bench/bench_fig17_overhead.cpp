@@ -196,5 +196,5 @@ main(int argc, char **argv)
               << "\npaper shape: pruned+int8 voyager beats delta_lstm "
                  "by 110-200x and undercuts temporal-prefetcher "
                  "metadata.\n";
-    return 0;
+    return ctx.exit_code();
 }

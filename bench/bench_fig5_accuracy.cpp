@@ -45,5 +45,5 @@ main(int argc, char **argv)
     t.export_stats(ctx.stats(), "fig5");
     std::cout << "\npaper means: stms/domino/isb/bo ~0.82 band, voyager "
                  "0.902; expected shape: voyager highest.\n";
-    return 0;
+    return ctx.exit_code();
 }

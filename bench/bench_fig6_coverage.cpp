@@ -44,5 +44,5 @@ main(int argc, char **argv)
     t.export_stats(ctx.stats(), "fig6");
     std::cout << "\npaper means: isb 0.472, voyager 0.657; expected "
                  "shape: voyager highest coverage.\n";
-    return 0;
+    return ctx.exit_code();
 }

@@ -53,5 +53,5 @@ main(int argc, char **argv)
     std::cout << "\npaper means: stms 0.386, domino 0.433, isb 0.511, "
                  "bo 0.288, delta_lstm 0.529, voyager 0.739; search/ads "
                  "rows are where voyager's margin is largest.\n";
-    return 0;
+    return ctx.exit_code();
 }

@@ -51,5 +51,5 @@ main(int argc, char **argv)
     t.export_stats(ctx.stats(), "fig8");
     std::cout << "\npaper means: stms +14.9%, domino +21.7%, isb +28.2%, "
                  "bo +13.3%, delta_lstm +24.6%, voyager +41.6%.\n";
-    return 0;
+    return ctx.exit_code();
 }

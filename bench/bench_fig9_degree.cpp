@@ -56,5 +56,5 @@ main(int argc, char **argv)
     std::cout << "\nvoyager@1 = " << pct(voyager_d1) << " vs isb@8 = "
               << pct(isb_d8) << ", isb+bo@8 = " << pct(hybrid_d8)
               << "  (paper: voyager@1 > both at degree 8)\n";
-    return 0;
+    return ctx.exit_code();
 }

@@ -41,5 +41,5 @@ main(int argc, char **argv)
     row("batch size", paper.batch_size, used.batch_size);
     t.add_row({"optimizer", "Adam", "Adam"});
     t.print(std::cout);
-    return 0;
+    return ctx.exit_code();
 }

@@ -47,5 +47,5 @@ main(int argc, char **argv)
     std::cout << "\nNote: absolute counts scale with the trace budget; "
                  "the ordering (mcf largest footprint, ads most PCs) is "
                  "the reproduced property.\n";
-    return 0;
+    return ctx.exit_code();
 }

@@ -69,5 +69,5 @@ main(int argc, char **argv)
     ctx.stats().counter("table3.core.rob_size") = used.core.rob_size;
     ctx.stats().counter("table3.core.pipeline_depth") =
         used.core.pipeline_depth;
-    return 0;
+    return ctx.exit_code();
 }

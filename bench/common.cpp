@@ -7,6 +7,8 @@
 
 #include "nn/ops.hpp"
 #include "prefetch/registry.hpp"
+#include "util/fault_injection.hpp"
+#include "util/health.hpp"
 #include "util/string_util.hpp"
 
 namespace voyager::bench {
@@ -14,7 +16,8 @@ namespace voyager::bench {
 namespace {
 
 constexpr std::uint32_t kCacheMagic = 0x564f5943;  // "VOYC"
-constexpr std::uint32_t kCacheVersion = 3;
+// v4: degraded flag + rollback/skipped-step counters (§5.14).
+constexpr std::uint32_t kCacheVersion = 4;
 
 template <typename T>
 void
@@ -62,9 +65,18 @@ BenchContext::BenchContext(int argc, const char *const *argv,
     checkpoint_dir_ = cfg_.get_string("checkpoint", "");
     checkpoint_every_ = cfg_.get_uint("checkpoint_every", 1);
     resume_ = cfg_.get_bool("resume", false);
+    strict_ = cfg_.get_bool("strict", false);
     stats_json_path_ = cfg_.get_string("stats_json", "");
     stats_csv_path_ = cfg_.get_string("stats_csv", "");
     start_time_ = std::chrono::steady_clock::now();
+
+    const std::string fault_spec = cfg_.get_string("fault_plan", "");
+    if (!fault_spec.empty()) {
+        const auto plan = FaultPlan::parse(fault_spec);
+        fault_injector().install(plan);
+        stats_.set_meta("fault_plan", plan.to_string());
+        stats_.set_meta("fault_fingerprint", plan.fingerprint());
+    }
 
     const char *scale_name = scale_ == Scale::Paper  ? "paper"
                            : scale_ == Scale::Small ? "small"
@@ -96,6 +108,9 @@ BenchContext::emit_stats()
     stats_emitted_ = true;
     nn::export_op_stats(stats_);
     core::export_checkpoint_stats(stats_);
+    export_health_stats(stats_);
+    export_fault_stats(stats_);
+    stats_.set_meta("degraded", any_degraded_ ? "1" : "0");
     stats_.gauge("wall.seconds", true) =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_time_)
@@ -277,11 +292,16 @@ BenchContext::result_key(const std::string &benchmark,
                          const std::string &model,
                          std::uint32_t degree) const
 {
-    return strfmt("%s_%s_s%d_seed%llu_e%zu_p%zu_m%zu_d%u_v%u",
-                  benchmark.c_str(), model.c_str(),
-                  static_cast<int>(scale_),
-                  static_cast<unsigned long long>(seed_), epochs_,
-                  passes_, max_samples_, degree, kCacheVersion);
+    std::string key =
+        strfmt("%s_%s_s%d_seed%llu_e%zu_p%zu_m%zu_d%u_v%u",
+               benchmark.c_str(), model.c_str(),
+               static_cast<int>(scale_),
+               static_cast<unsigned long long>(seed_), epochs_,
+               passes_, max_samples_, degree, kCacheVersion);
+    // Fault-injected runs must never collide with clean entries.
+    if (fault_injector().enabled())
+        key += "_f" + fault_injector().plan().fingerprint();
+    return key;
 }
 
 std::string
@@ -327,6 +347,12 @@ BenchContext::load_cached(const std::string &key) const
     read_pod(is, res.inference_seconds);
     read_pod(is, res.trained_samples);
     read_pod(is, res.predicted_samples);
+    std::uint8_t degraded = 0;
+    if (!read_pod(is, degraded))
+        return std::nullopt;
+    res.degraded = degraded != 0;
+    read_pod(is, res.rollbacks);
+    read_pod(is, res.skipped_steps);
     res.predictions.resize(n);
     for (auto &slot : res.predictions) {
         std::uint8_t k = 0;
@@ -359,6 +385,9 @@ BenchContext::store_cached(const std::string &key,
     write_pod(os, res.inference_seconds);
     write_pod(os, res.trained_samples);
     write_pod(os, res.predicted_samples);
+    write_pod(os, static_cast<std::uint8_t>(res.degraded ? 1 : 0));
+    write_pod(os, res.rollbacks);
+    write_pod(os, res.skipped_steps);
     for (const auto &slot : res.predictions) {
         write_pod(os, static_cast<std::uint8_t>(slot.size()));
         for (const Addr line : slot)
@@ -390,8 +419,11 @@ BenchContext::voyager_result(const std::string &benchmark,
     }
     res->export_stats(stats_, "train." + stat_name_segment(benchmark) +
                                   "." + stat_name_segment(variant.name));
-    if (degree < kNeuralDegree)
+    if (res->degraded) {
+        apply_degraded_fallback(benchmark, variant.name, *res, degree);
+    } else if (degree < kNeuralDegree) {
         res->predictions = slice_degree(res->predictions, degree);
+    }
     return *res;
 }
 
@@ -413,9 +445,27 @@ BenchContext::delta_lstm_result(const std::string &benchmark,
     }
     res->export_stats(stats_, "train." + stat_name_segment(benchmark) +
                                   ".delta_lstm");
-    if (degree < kNeuralDegree)
+    if (res->degraded) {
+        apply_degraded_fallback(benchmark, "delta_lstm", *res, degree);
+    } else if (degree < kNeuralDegree) {
         res->predictions = slice_degree(res->predictions, degree);
+    }
     return *res;
+}
+
+void
+BenchContext::apply_degraded_fallback(const std::string &benchmark,
+                                      const std::string &model,
+                                      core::OnlineResult &res,
+                                      std::uint32_t degree)
+{
+    any_degraded_ = true;
+    std::cerr << "WARNING: " << model << " training on " << benchmark
+              << " degraded after " << res.rollbacks
+              << " rollback(s); falling back to the isb+bo hybrid"
+              << " at degree " << degree << "\n";
+    res.predictions =
+        core::isb_bo_fallback_predictions(get_stream(benchmark), degree);
 }
 
 std::uint64_t

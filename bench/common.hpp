@@ -24,6 +24,13 @@
  *   --checkpoint_every=N       checkpoint every N epochs (default 1)
  *   --resume                   resume interrupted trainings from
  *                              their checkpoint files
+ *   --fault_plan=SPEC          install a deterministic FaultPlan
+ *                              (util/fault_injection.hpp grammar);
+ *                              the plan fingerprint joins the cache
+ *                              key so faulted runs never collide
+ *                              with clean cache entries
+ *   --strict                   exit nonzero when any training
+ *                              degraded to the ISB+BO fallback
  */
 #pragma once
 
@@ -164,6 +171,13 @@ class BenchContext
     /** Print the standard banner (scale, config, Table 3 parameters). */
     void print_banner(std::ostream &os, const std::string &what) const;
 
+    /** True once any training in this run degraded (§5.14). */
+    bool any_degraded() const { return any_degraded_; }
+
+    /** Process exit status for `return ctx.exit_code();` in main —
+     *  nonzero only under --strict when a training degraded. */
+    int exit_code() const { return strict_ && any_degraded_ ? 1 : 0; }
+
     /** Truncate per-index predictions to a smaller degree. */
     static std::vector<std::vector<Addr>>
     slice_degree(const std::vector<std::vector<Addr>> &preds,
@@ -178,6 +192,14 @@ class BenchContext
     load_cached(const std::string &key) const;
     void store_cached(const std::string &key,
                       const core::OnlineResult &res) const;
+    /** Degraded-run handling shared by the neural result getters:
+     *  flag the run and swap in ISB+BO fallback predictions at the
+     *  caller's degree (not a slice of a higher-degree run, so they
+     *  match the standalone hybrid bit-for-bit). */
+    void apply_degraded_fallback(const std::string &benchmark,
+                                 const std::string &model,
+                                 core::OnlineResult &res,
+                                 std::uint32_t degree);
     std::string result_key(const std::string &benchmark,
                            const std::string &model,
                            std::uint32_t degree) const;
@@ -196,6 +218,8 @@ class BenchContext
     std::string checkpoint_dir_;
     std::size_t checkpoint_every_ = 1;
     bool resume_ = false;
+    bool strict_ = false;
+    bool any_degraded_ = false;
 
     std::map<std::string, trace::Trace> traces_;
     std::map<std::string, std::vector<LlcAccess>> streams_;

@@ -174,6 +174,21 @@ DeltaLstmModel::predict(const DeltaBatch &batch, std::size_t k)
     return out;
 }
 
+bool
+DeltaLstmModel::weights_finite() const
+{
+    const nn::Matrix *ws[] = {
+        &pc_emb_.param().value, &delta_emb_.param().value,
+        &lstm_.wx().value,      &lstm_.wh().value,
+        &lstm_.bias().value,    &head_.weight().value,
+        &head_.bias().value,
+    };
+    for (const nn::Matrix *m : ws)
+        if (!nn::is_finite(*m))
+            return false;
+    return true;
+}
+
 std::uint64_t
 DeltaLstmModel::parameter_count() const
 {

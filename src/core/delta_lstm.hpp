@@ -92,6 +92,13 @@ class DeltaLstmModel
     predict(const DeltaBatch &batch, std::size_t k);
 
     const DeltaLstmConfig &config() const { return cfg_; }
+
+    /** Multiply the learning rate (recovery backoff, §5.14). */
+    void scale_lr(double factor) { opt_.set_lr(opt_.lr() * factor); }
+
+    /** True when every weight matrix is finite (watchdog sweep). */
+    bool weights_finite() const;
+
     std::uint64_t parameter_count() const;
     std::uint64_t parameter_bytes() const { return parameter_count() * 4; }
 

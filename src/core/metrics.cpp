@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "prefetch/hybrid.hpp"
+
 namespace voyager::core {
 
 void
@@ -151,6 +153,14 @@ run_prefetcher_on_stream(sim::Prefetcher &pf,
     for (const auto &a : stream)
         out.push_back(pf.on_access(a));
     return out;
+}
+
+std::vector<std::vector<Addr>>
+isb_bo_fallback_predictions(const std::vector<LlcAccess> &stream,
+                            std::uint32_t degree)
+{
+    const auto pf = prefetch::make_isb_bo_hybrid(degree);
+    return run_prefetcher_on_stream(*pf, stream);
 }
 
 }  // namespace voyager::core

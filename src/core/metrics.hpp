@@ -104,4 +104,15 @@ std::vector<std::vector<Addr>>
 run_prefetcher_on_stream(sim::Prefetcher &pf,
                          const std::vector<LlcAccess> &stream);
 
+/**
+ * Degraded-mode fallback (DESIGN.md §5.14): replay the ISB+BO hybrid
+ * — the paper's strongest rule-based baseline (Figs. 5-8) — over the
+ * stream at `degree`. One shared entry point for bench fallback
+ * wiring and tests, so a degraded run's predictions are bit-for-bit
+ * those of the standalone hybrid at the same degree.
+ */
+std::vector<std::vector<Addr>>
+isb_bo_fallback_predictions(const std::vector<LlcAccess> &stream,
+                            std::uint32_t degree);
+
 }  // namespace voyager::core

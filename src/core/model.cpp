@@ -392,6 +392,15 @@ VoyagerModel::weights() const
     return out;
 }
 
+bool
+VoyagerModel::weights_finite() const
+{
+    for (const Matrix *m : weights())
+        if (!nn::is_finite(*m))
+            return false;
+    return true;
+}
+
 std::uint64_t
 VoyagerModel::parameter_count() const
 {

@@ -138,11 +138,17 @@ class VoyagerModel
     /** Divide the learning rate (called at epoch boundaries). */
     void decay_lr() { opt_.decay_lr(cfg_.lr_decay_ratio); }
 
+    /** Multiply the learning rate (recovery backoff, §5.14). */
+    void scale_lr(double factor) { opt_.set_lr(opt_.lr() * factor); }
+
     const VoyagerConfig &config() const { return cfg_; }
 
     /** All weight matrices (for serialization / compression). */
     std::vector<nn::Matrix *> weights();
     std::vector<const nn::Matrix *> weights() const;
+
+    /** True when every weight matrix is finite (watchdog sweep). */
+    bool weights_finite() const;
 
     /**
      * Serialize the *complete* training state: every module's weights,

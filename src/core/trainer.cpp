@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <sstream>
 
+#include "util/fault_injection.hpp"
+#include "util/health.hpp"
 #include "util/random.hpp"
 
 namespace voyager::core {
@@ -32,6 +36,36 @@ SequenceModel::load_state(std::istream &)
     throw CheckpointError(name() + " does not support checkpointing");
 }
 
+HealthVerdict
+HealthMonitor::check(double loss, const SequenceModel &model)
+{
+    ++health_stats().checks;
+    if (!std::isfinite(loss)) {
+        ++health_stats().nonfinite_loss;
+        return HealthVerdict::NonFiniteLoss;
+    }
+    bool spiked = loss > cfg_.divergence_loss;
+    if (!spiked && !baseline_.empty() && loss > cfg_.min_spike_loss) {
+        double mean = 0.0;
+        for (const double l : baseline_)
+            mean += l;
+        mean /= static_cast<double>(baseline_.size());
+        spiked = loss > cfg_.loss_spike_factor * mean;
+    }
+    if (spiked) {
+        ++health_stats().loss_spikes;
+        return HealthVerdict::LossSpike;
+    }
+    if (!model.state_finite()) {
+        ++health_stats().nonfinite_state;
+        return HealthVerdict::NonFiniteState;
+    }
+    baseline_.push_back(loss);
+    if (baseline_.size() > cfg_.baseline_window)
+        baseline_.erase(baseline_.begin());
+    return HealthVerdict::Healthy;
+}
+
 void
 OnlineResult::export_stats(StatRegistry &reg,
                            const std::string &prefix) const
@@ -50,6 +84,9 @@ OnlineResult::export_stats(StatRegistry &reg,
     if (loss.count() == 0)
         for (const double l : epoch_losses)
             loss.add(l);
+    reg.counter(prefix + ".degraded") = degraded ? 1 : 0;
+    reg.counter(prefix + ".rollbacks") = rollbacks;
+    reg.counter(prefix + ".skipped_steps") = skipped_steps;
     reg.gauge(prefix + ".train_seconds", true) = train_seconds;
     reg.gauge(prefix + ".inference_seconds", true) = inference_seconds;
 }
@@ -96,6 +133,14 @@ train_online(SequenceModel &model, std::size_t stream_size,
     const std::size_t every =
         std::max<std::size_t>(1, ckpt.every_epochs);
 
+    HealthMonitor monitor(cfg.health);
+    // `health.skipped_steps` is process-wide; report this run's share.
+    const std::uint64_t skipped_before = health_stats().skipped_steps;
+    const auto finish = [&skipped_before](OnlineResult &r) {
+        r.skipped_steps =
+            health_stats().skipped_steps - skipped_before;
+    };
+
     for (std::size_t e = start_epoch; e < n_epochs; ++e) {
         const std::size_t begin = epoch_begin(e);
         const std::size_t end = epoch_begin(e + 1);
@@ -117,29 +162,86 @@ train_online(SequenceModel &model, std::size_t stream_size,
         }
 
         // Then train on this epoch (or, cumulatively, on everything
-        // seen so far).
-        std::vector<std::size_t> train_idx;
-        if (cfg.cumulative) {
-            train_idx.reserve(end);
-            for (std::size_t i = 0; i < end; ++i)
-                train_idx.push_back(i);
-        } else {
-            train_idx = indices;
-        }
-        if (cfg.max_train_samples_per_epoch > 0 &&
-            train_idx.size() > cfg.max_train_samples_per_epoch) {
-            rng.shuffle(train_idx);
-            train_idx.resize(cfg.max_train_samples_per_epoch);
-            std::sort(train_idx.begin(), train_idx.end());
+        // seen so far) under the watchdog: an unhealthy verdict rolls
+        // model and RNG back to the pre-epoch snapshot, backs off the
+        // LR and retries; exhausting max_retries (or lacking snapshot
+        // support) degrades the run and returns early (§5.14).
+        std::string snapshot;
+        bool have_snapshot = false;
+        const RngState rng_before = rng.state();
+        if (cfg.health.enabled) {
+            try {
+                std::ostringstream snap;
+                model.save_state(snap);
+                snapshot = std::move(snap).str();
+                have_snapshot = true;
+            } catch (const CheckpointError &) {
+                // No snapshot support: any unhealthy epoch degrades
+                // immediately instead of rolling back.
+            }
         }
         const auto t0 = std::chrono::steady_clock::now();
-        double loss = 0.0;
-        for (std::size_t pass = 0; pass < cfg.train_passes; ++pass) {
-            loss = model.train_on(train_idx);
-            res.trained_samples += train_idx.size();
+        for (std::size_t attempt = 0;; ++attempt) {
+            std::vector<std::size_t> train_idx;
+            if (cfg.cumulative) {
+                train_idx.reserve(end);
+                for (std::size_t i = 0; i < end; ++i)
+                    train_idx.push_back(i);
+            } else {
+                train_idx = indices;
+            }
+            if (cfg.max_train_samples_per_epoch > 0 &&
+                train_idx.size() > cfg.max_train_samples_per_epoch) {
+                rng.shuffle(train_idx);
+                train_idx.resize(cfg.max_train_samples_per_epoch);
+                std::sort(train_idx.begin(), train_idx.end());
+            }
+            double loss = 0.0;
+            for (std::size_t pass = 0; pass < cfg.train_passes;
+                 ++pass) {
+                loss = model.train_on(train_idx);
+                res.trained_samples += train_idx.size();
+            }
+            loss = fault_injector().on_epoch_loss(e, loss);
+            if (!cfg.health.enabled ||
+                monitor.check(loss, model) == HealthVerdict::Healthy) {
+                res.epoch_losses.push_back(loss);
+                // The backoff is scoped to the retries: once the
+                // epoch passes the health check, later epochs resume
+                // at the configured rate (a recurrence next epoch
+                // rolls back again). backoff^-(attempt-1) exactly
+                // undoes the backoff^(attempt-1) in effect on this
+                // attempt.
+                if (attempt > 1)
+                    model.scale_lr(
+                        std::pow(cfg.health.lr_backoff,
+                                 -static_cast<double>(attempt - 1)));
+                break;
+            }
+            if (attempt >= cfg.health.max_retries || !have_snapshot) {
+                res.degraded = true;
+                ++health_stats().degraded_runs;
+                res.train_seconds += seconds_since(t0);
+                finish(res);
+                return res;
+            }
+            std::istringstream snap(snapshot);
+            model.load_state(snap);
+            rng.set_state(rng_before);
+            // First retry replays the epoch unchanged — a transient
+            // fault (the common case) is gone on replay, and the
+            // clean-retry result matches an unfaulted run exactly.
+            // Later retries progressively back the LR off; load_state
+            // restored the snapshot LR, so apply it after.
+            if (attempt > 0) {
+                model.scale_lr(std::pow(cfg.health.lr_backoff,
+                                        static_cast<double>(attempt)));
+                ++health_stats().lr_backoffs;
+            }
+            ++res.rollbacks;
+            ++health_stats().rollbacks;
         }
         res.train_seconds += seconds_since(t0);
-        res.epoch_losses.push_back(loss);
         model.on_epoch_end();
 
         // Checkpoint at the completed-epoch boundary: grads are
@@ -153,9 +255,12 @@ train_online(SequenceModel &model, std::size_t stream_size,
             save_training_checkpoint(ckpt.path, model, cfg,
                                      stream_size, done, rng, res);
         }
-        if (stop)
+        if (stop) {
+            finish(res);
             return res;
+        }
     }
+    finish(res);
     return res;
 }
 

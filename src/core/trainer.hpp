@@ -58,6 +58,67 @@ class SequenceModel
 
     /** Restore state saved by save_state. @throws on mismatch. */
     virtual void load_state(std::istream &is);
+
+    /** Cheap finite-ness sweep over the trainable state, used by the
+     *  HealthMonitor. The default reports healthy. */
+    virtual bool state_finite() const { return true; }
+
+    /** Multiply the optimizer learning rate (recovery backoff). The
+     *  default is a no-op for models without an optimizer handle. */
+    virtual void scale_lr(double /*factor*/) {}
+};
+
+/** Watchdog thresholds and recovery policy (DESIGN.md §5.14). */
+struct HealthConfig
+{
+    /** Master switch; off restores the pre-watchdog trainer. */
+    bool enabled = true;
+    /** Spike = loss > factor x rolling baseline mean... */
+    double loss_spike_factor = 8.0;
+    /** ...but only when it also exceeds this floor, so the noisy
+     *  first epochs of a healthy run can never trip the detector. */
+    double min_spike_loss = 20.0;
+    /** Unconditional divergence bound (no baseline required). */
+    double divergence_loss = 1e6;
+    /** Rolling-baseline window, in healthy epoch losses. */
+    std::size_t baseline_window = 8;
+    /** Rollback-and-retry attempts per epoch before degrading. */
+    std::size_t max_retries = 2;
+    /** LR multiplier for the second and later retries of an epoch —
+     *  the first retry replays unchanged (transient faults vanish on
+     *  replay); the backoff is undone once the epoch passes. */
+    double lr_backoff = 0.5;
+};
+
+/** What a health check concluded. */
+enum class HealthVerdict : std::uint8_t
+{
+    Healthy = 0,
+    NonFiniteLoss = 1,   ///< epoch loss is NaN/Inf
+    LossSpike = 2,       ///< loss spiked vs baseline, or diverged
+    NonFiniteState = 3,  ///< a weight went NaN/Inf
+};
+
+/**
+ * The training watchdog (DESIGN.md §5.14): finite-ness checks over
+ * the epoch loss and model weights plus loss-spike/divergence
+ * detection against a rolling baseline of healthy epoch losses.
+ * Verdict counts land in the process-wide `health.*` stats.
+ */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(const HealthConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Judge one completed epoch. Healthy losses join the baseline. */
+    HealthVerdict check(double loss, const SequenceModel &model);
+
+    /** Healthy losses seen so far (capped at baseline_window). */
+    std::size_t baseline_size() const { return baseline_.size(); }
+
+  private:
+    HealthConfig cfg_;
+    std::vector<double> baseline_;  ///< rolling window, oldest first
 };
 
 /** Online-training schedule. */
@@ -75,6 +136,8 @@ struct OnlineTrainConfig
      *  efficiency at miniature scale. */
     bool cumulative = false;
     std::uint64_t seed = 7;
+    /** Watchdog thresholds and recovery policy. */
+    HealthConfig health;
 };
 
 /** What the online protocol produces. */
@@ -89,6 +152,13 @@ struct OnlineResult
     double inference_seconds = 0.0;
     std::uint64_t trained_samples = 0;
     std::uint64_t predicted_samples = 0;
+    /** Recovery exhausted: training aborted early and the caller
+     *  should fall back to the ISB+BO hybrid (DESIGN.md §5.14). */
+    bool degraded = false;
+    /** Snapshot restores the recovery policy performed. */
+    std::uint64_t rollbacks = 0;
+    /** Optimizer steps dropped for non-finite gradients. */
+    std::uint64_t skipped_steps = 0;
 
     /**
      * Export into `reg` under `<prefix>.`: per-epoch losses
@@ -156,6 +226,11 @@ class VoyagerAdapter final : public SequenceModel
     {
         model_.load_state(is);
     }
+    bool state_finite() const override
+    {
+        return model_.weights_finite();
+    }
+    void scale_lr(double factor) override { model_.scale_lr(factor); }
 
     VoyagerModel &model() { return model_; }
     const Vocabulary &vocab() const { return vocab_; }
@@ -226,6 +301,11 @@ class DeltaLstmAdapter final : public SequenceModel
     {
         model_->load_state(is);
     }
+    bool state_finite() const override
+    {
+        return model_->weights_finite();
+    }
+    void scale_lr(double factor) override { model_->scale_lr(factor); }
 
     DeltaLstmModel &model() { return *model_; }
     const DeltaVocab &vocab() const { return vocab_; }

@@ -4,6 +4,8 @@
 
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
+#include "util/fault_injection.hpp"
+#include "util/health.hpp"
 
 namespace voyager::nn {
 
@@ -32,17 +34,45 @@ Adam::add_embedding(Embedding *e)
 void
 Adam::step()
 {
-    ++t_;
-    if (cfg_.clip_norm > 0.0) {
-        std::vector<Matrix *> grads;
-        for (auto &s : dense_)
-            grads.push_back(&s.param->grad);
-        // Embedding grads participate in the global norm as well.
-        for (auto &s : sparse_)
-            grads.push_back(&s.emb->param().grad);
-        clip_gradients(grads, static_cast<float>(cfg_.clip_norm));
+    // Fault-injection hook: may ask for a poisoned gradient element
+    // before the update or a poisoned weight element after it. A
+    // no-op unless a FaultPlan is installed.
+    const OptStepFaults faults = fault_injector().on_optimizer_step();
+    if (faults.grad && !dense_.empty() &&
+        dense_[0].param->grad.size() > 0) {
+        dense_[0].param->grad.data()[0] =
+            static_cast<float>(*faults.grad);
     }
 
+    std::vector<Matrix *> grads;
+    for (auto &s : dense_)
+        grads.push_back(&s.param->grad);
+    // Embedding grads participate in the global norm as well.
+    for (auto &s : sparse_)
+        grads.push_back(&s.emb->param().grad);
+
+    double total = 0.0;
+    for (const Matrix *g : grads)
+        total += sum_squares(*g);
+    const double norm = std::sqrt(total);
+    if (!std::isfinite(norm)) {
+        // A NaN/Inf gradient would smear poison into every moment and
+        // weight. Drop the batch instead: zero the gradients, leave
+        // t_ and the moments untouched, and count the skip.
+        ++skipped_steps_;
+        ++health_stats().skipped_steps;
+        zero_grad();
+        return;
+    }
+    if (cfg_.clip_norm > 0.0 && norm > cfg_.clip_norm && norm > 0.0) {
+        // Inline clip reusing the norm computed for the finite-ness
+        // check (clip_gradients would sweep the gradients again).
+        const float scale = static_cast<float>(cfg_.clip_norm / norm);
+        for (Matrix *g : grads)
+            scale_inplace(*g, scale);
+    }
+
+    ++t_;
     const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
     const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
     const float lr_t =
@@ -73,6 +103,12 @@ Adam::step()
                         s.v.row(row), dim);
         }
         s.emb->clear_touched();
+    }
+
+    if (faults.weight && !dense_.empty() &&
+        dense_[0].param->value.size() > 0) {
+        dense_[0].param->value.data()[0] =
+            static_cast<float>(*faults.weight);
     }
 }
 

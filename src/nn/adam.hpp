@@ -40,7 +40,12 @@ class Adam
     /** Register an embedding for sparse (touched-row) updates. */
     void add_embedding(Embedding *e);
 
-    /** Apply one update; zeroes all gradients and touched sets. */
+    /**
+     * Apply one update; zeroes all gradients and touched sets. When
+     * the global gradient norm is non-finite the step is skipped
+     * entirely (gradients zeroed, no moment/weight/step-count change)
+     * and counted in skipped_steps() / `health.skipped_steps`.
+     */
     void step();
 
     /** Zero gradients without updating. */
@@ -52,6 +57,9 @@ class Adam
     void decay_lr(double ratio) { cfg_.lr /= ratio; }
 
     std::uint64_t steps() const { return t_; }
+
+    /** Updates dropped because the gradient norm was NaN/Inf. */
+    std::uint64_t skipped_steps() const { return skipped_steps_; }
 
     /**
      * Serialize the complete optimizer state: step count, the current
@@ -83,6 +91,7 @@ class Adam
 
     AdamConfig cfg_;
     std::uint64_t t_ = 0;
+    std::uint64_t skipped_steps_ = 0;
     std::vector<DenseState> dense_;
     std::vector<SparseState> sparse_;
 };

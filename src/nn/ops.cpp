@@ -523,6 +523,16 @@ sum_squares(const Matrix &m)
     return acc;
 }
 
+bool
+is_finite(const Matrix &m)
+{
+    const float *d = m.data();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        if (!std::isfinite(d[i]))
+            return false;
+    return true;
+}
+
 void
 clip_gradients(const std::vector<Matrix *> &grads, float max_norm)
 {
@@ -530,7 +540,11 @@ clip_gradients(const std::vector<Matrix *> &grads, float max_norm)
     for (const Matrix *g : grads)
         total += sum_squares(*g);
     const double norm = std::sqrt(total);
-    if (norm <= max_norm || norm == 0.0)
+    // A NaN/Inf norm means a poisoned gradient: `norm <= max_norm` is
+    // false for NaN, and scaling by max_norm/norm would smear the
+    // poison across every parameter. Leave the gradients untouched —
+    // Adam::step detects the same condition and skips the update.
+    if (norm <= max_norm || norm == 0.0 || !std::isfinite(norm))
         return;
     const float scale = static_cast<float>(max_norm / norm);
     for (Matrix *g : grads)

@@ -133,7 +133,12 @@ void hadamard_add(const Matrix &a, const Matrix &b, Matrix &y);
 /** Sum of squares of all elements. */
 double sum_squares(const Matrix &m);
 
-/** Global gradient-norm clipping over a set of gradients. */
+/** True when every element is finite (no NaN/Inf). */
+bool is_finite(const Matrix &m);
+
+/** Global gradient-norm clipping over a set of gradients. A
+ *  non-finite global norm leaves the gradients untouched (the caller
+ *  is expected to skip the step; see Adam::step). */
 void clip_gradients(const std::vector<Matrix *> &grads, float max_norm);
 
 }  // namespace voyager::nn

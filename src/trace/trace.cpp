@@ -1,11 +1,16 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "util/string_util.hpp"
 
 namespace voyager::trace {
 
@@ -13,6 +18,9 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x564f5954;  // "VOYT"
 constexpr std::uint32_t kVersion = 1;
+/** Longest trace name load_binary will believe; a corrupt length
+ *  field must not turn into a multi-gigabyte allocation. */
+constexpr std::uint32_t kMaxNameLen = 4096;
 
 template <typename T>
 void
@@ -21,14 +29,52 @@ write_pod(std::ostream &os, const T &v)
     os.write(reinterpret_cast<const char *>(&v), sizeof(v));
 }
 
+/** Printable rendering of raw bytes for error messages. */
+std::string
+quote_bytes(std::string_view s, std::size_t max = 48)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size() && i < max; ++i) {
+        const auto c = static_cast<unsigned char>(s[i]);
+        if (c >= 0x20 && c < 0x7f && c != '\\')
+            out += static_cast<char>(c);
+        else
+            out += strfmt("\\x%02x", c);
+    }
+    if (s.size() > max)
+        out += "...";
+    return out;
+}
+
+/** Throw a TraceError naming file, record/line and offending bytes. */
+[[noreturn]] void
+fail(const TraceReadOptions &opts, std::uint64_t record,
+     const char *record_label, const std::string &problem,
+     std::string_view bytes)
+{
+    std::string msg = "trace: " + problem;
+    if (!opts.file.empty())
+        msg += " in " + opts.file;
+    if (record != TraceError::kNoRecord)
+        msg += strfmt(" at %s %llu", record_label,
+                      static_cast<unsigned long long>(record));
+    if (!bytes.empty())
+        msg += ": '" + quote_bytes(bytes) + "'";
+    throw TraceError(msg, opts.file, record);
+}
+
+/** Read a header POD; header corruption is never resyncable. */
 template <typename T>
 T
-read_pod(std::istream &is)
+read_header_pod(std::istream &is, const TraceReadOptions &opts,
+                const char *what)
 {
     T v{};
     is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!is)
-        throw std::runtime_error("trace: truncated stream");
+    if (!is) {
+        fail(opts, TraceError::kNoRecord, "",
+             std::string("truncated stream reading ") + what, {});
+    }
     return v;
 }
 
@@ -100,25 +146,94 @@ Trace::save_binary(std::ostream &os) const
 Trace
 Trace::load_binary(std::istream &is)
 {
-    if (read_pod<std::uint32_t>(is) != kMagic)
-        throw std::runtime_error("trace: bad magic");
-    if (read_pod<std::uint32_t>(is) != kVersion)
-        throw std::runtime_error("trace: unsupported version");
+    return load_binary(is, TraceReadOptions{});
+}
+
+Trace
+Trace::load_binary(std::istream &is, const TraceReadOptions &opts,
+                   TraceReadReport *report)
+{
+    TraceReadReport rep;
+    const bool resync =
+        opts.on_error == TraceReadOptions::OnError::Resync;
+
+    // The header is never resyncable: without magic/version/counts
+    // there is nothing to resynchronize against.
+    const auto magic = read_header_pod<std::uint32_t>(is, opts, "magic");
+    if (magic != kMagic) {
+        fail(opts, TraceError::kNoRecord, "", "bad magic",
+             std::string_view(reinterpret_cast<const char *>(&magic),
+                              sizeof(magic)));
+    }
+    const auto version =
+        read_header_pod<std::uint32_t>(is, opts, "version");
+    if (version != kVersion) {
+        fail(opts, TraceError::kNoRecord, "",
+             strfmt("unsupported version %u", version), {});
+    }
     Trace t;
-    const auto name_len = read_pod<std::uint32_t>(is);
+    const auto name_len =
+        read_header_pod<std::uint32_t>(is, opts, "name length");
+    if (name_len > kMaxNameLen) {
+        fail(opts, TraceError::kNoRecord, "",
+             strfmt("implausible name length %u", name_len), {});
+    }
     t.name_.resize(name_len);
     is.read(t.name_.data(), name_len);
-    t.instructions_ = read_pod<std::uint64_t>(is);
-    const auto n = read_pod<std::uint64_t>(is);
-    t.accesses_.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        MemoryAccess a;
-        a.instr_id = read_pod<std::uint64_t>(is);
-        a.pc = read_pod<Addr>(is);
-        a.addr = read_pod<Addr>(is);
-        a.is_load = read_pod<std::uint8_t>(is) != 0;
-        t.accesses_.push_back(a);
+    if (!is) {
+        fail(opts, TraceError::kNoRecord, "",
+             "truncated stream reading name", {});
     }
+    t.instructions_ =
+        read_header_pod<std::uint64_t>(is, opts, "instruction count");
+    const auto n =
+        read_header_pod<std::uint64_t>(is, opts, "access count");
+    // A corrupt count must not become a giant allocation; the record
+    // loop stops at truncation regardless.
+    t.accesses_.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, 1u << 20)));
+
+    constexpr std::size_t kRecSize = 3 * sizeof(std::uint64_t) + 1;
+    std::uint64_t last_id = 0;
+    bool have_last = false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        char buf[kRecSize];
+        is.read(buf, kRecSize);
+        if (!is) {
+            rep.truncated = true;
+            if (resync)
+                break;
+            fail(opts, i, "record", "truncated stream",
+                 std::string_view(
+                     buf, static_cast<std::size_t>(is.gcount())));
+        }
+        MemoryAccess a;
+        std::uint8_t kind_byte = 0;
+        std::memcpy(&a.instr_id, buf, sizeof(std::uint64_t));
+        std::memcpy(&a.pc, buf + 8, sizeof(std::uint64_t));
+        std::memcpy(&a.addr, buf + 16, sizeof(std::uint64_t));
+        std::memcpy(&kind_byte, buf + 24, 1);
+        std::string problem;
+        if (kind_byte > 1)
+            problem = strfmt("bad access-kind byte 0x%02x", kind_byte);
+        else if (have_last && a.instr_id < last_id)
+            problem = "non-monotonic instr_id";
+        if (!problem.empty()) {
+            if (resync) {
+                ++rep.skipped;
+                continue;
+            }
+            fail(opts, i, "record", problem,
+                 std::string_view(buf, kRecSize));
+        }
+        a.is_load = kind_byte != 0;
+        last_id = a.instr_id;
+        have_last = true;
+        t.append(a);
+        ++rep.records;
+    }
+    if (report)
+        *report = rep;
     return t;
 }
 
@@ -135,27 +250,60 @@ Trace::save_text(std::ostream &os) const
 Trace
 Trace::load_text(std::istream &is)
 {
+    return load_text(is, TraceReadOptions{});
+}
+
+Trace
+Trace::load_text(std::istream &is, const TraceReadOptions &opts,
+                 TraceReadReport *report)
+{
     Trace t;
-    std::string tok;
-    // Optional header line.
-    while (is >> tok) {
-        if (tok == "#") {
-            std::string rest;
-            std::getline(is, rest);
-            continue;
-        }
-        MemoryAccess a;
-        a.instr_id = std::stoull(tok);
+    TraceReadReport rep;
+    const bool resync =
+        opts.on_error == TraceReadOptions::OnError::Resync;
+    std::string line;
+    std::uint64_t lineno = 0;
+    std::uint64_t last_id = 0;
+    bool have_last = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;  // blank / comment-header line
+        std::istringstream ls(body);
+        std::uint64_t id = 0;
         std::uint64_t pc = 0;
         std::uint64_t addr = 0;
-        char kind = 'L';
-        if (!(is >> pc >> addr >> kind))
-            throw std::runtime_error("trace: malformed text record");
+        char kind = 0;
+        std::string extra;
+        std::string problem;
+        if (!(ls >> id >> pc >> addr >> kind))
+            problem = "malformed text record";
+        else if (kind != 'L' && kind != 'S')
+            problem = strfmt("bad access kind '%c'", kind);
+        else if (ls >> extra)
+            problem = "trailing bytes after record";
+        else if (have_last && id < last_id)
+            problem = "non-monotonic instr_id";
+        if (!problem.empty()) {
+            if (resync) {
+                ++rep.skipped;
+                continue;
+            }
+            fail(opts, lineno, "line", problem, body);
+        }
+        MemoryAccess a;
+        a.instr_id = id;
         a.pc = pc;
         a.addr = addr;
         a.is_load = kind == 'L';
+        last_id = id;
+        have_last = true;
         t.append(a);
+        ++rep.records;
     }
+    if (report)
+        *report = rep;
     return t;
 }
 
@@ -171,10 +319,23 @@ Trace::save_binary_file(const std::string &path) const
 Trace
 Trace::load_binary_file(const std::string &path)
 {
+    TraceReadOptions opts;
+    opts.file = path;
+    return load_binary_file(path, opts);
+}
+
+Trace
+Trace::load_binary_file(const std::string &path,
+                        const TraceReadOptions &opts,
+                        TraceReadReport *report)
+{
     std::ifstream is(path, std::ios::binary);
     if (!is)
         throw std::runtime_error("trace: cannot open " + path);
-    return load_binary(is);
+    TraceReadOptions named = opts;
+    if (named.file.empty())
+        named.file = path;
+    return load_binary(is, named, report);
 }
 
 }  // namespace voyager::trace

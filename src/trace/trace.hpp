@@ -7,12 +7,64 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/access.hpp"
 
 namespace voyager::trace {
+
+/**
+ * Error raised by the trace readers. Carries the source file name
+ * (empty when reading from an anonymous stream) and the record index
+ * (text: 1-based line number; binary: 0-based record ordinal;
+ * kNoRecord when the failure precedes the record section) in addition
+ * to a message that quotes the offending bytes.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    static constexpr std::uint64_t kNoRecord = ~0ull;
+
+    TraceError(const std::string &what, std::string file,
+               std::uint64_t record)
+        : std::runtime_error(what), file_(std::move(file)),
+          record_(record)
+    {
+    }
+
+    /** Source file name, or empty for anonymous streams. */
+    const std::string &file() const { return file_; }
+    /** Record index / line number, or kNoRecord. */
+    std::uint64_t record() const { return record_; }
+
+  private:
+    std::string file_;
+    std::uint64_t record_;
+};
+
+/** Policy and context for the trace readers. */
+struct TraceReadOptions
+{
+    enum class OnError : std::uint8_t
+    {
+        Fail = 0,   ///< throw TraceError at the first bad record
+        Resync = 1, ///< skip bad records / stop at truncation
+    };
+
+    OnError on_error = OnError::Fail;
+    /** Source file name, used in error messages and TraceError. */
+    std::string file;
+};
+
+/** What a Resync-policy read had to tolerate. */
+struct TraceReadReport
+{
+    std::uint64_t records = 0;  ///< well-formed records kept
+    std::uint64_t skipped = 0;  ///< malformed records dropped
+    bool truncated = false;     ///< stream ended mid-record
+};
 
 /** Footprint statistics of a trace (paper Table 2). */
 struct TraceStats
@@ -63,16 +115,36 @@ class Trace
 
     /** Serialize to a compact binary stream. */
     void save_binary(std::ostream &os) const;
-    /** Deserialize from save_binary output. @throws on bad magic. */
+    /** Deserialize from save_binary output (Fail policy).
+     *  @throws TraceError on any malformed input. */
     static Trace load_binary(std::istream &is);
+    /**
+     * Deserialize with an explicit error policy. Fail throws a
+     * TraceError naming the file, record index and offending bytes;
+     * Resync skips malformed records and stops at truncation,
+     * reporting both through `report` (when non-null).
+     */
+    static Trace load_binary(std::istream &is,
+                             const TraceReadOptions &opts,
+                             TraceReadReport *report = nullptr);
 
     /** One access per line: instr_id pc addr kind. */
     void save_text(std::ostream &os) const;
+    /** Parse save_text output (Fail policy). @throws TraceError. */
     static Trace load_text(std::istream &is);
+    /** Parse with an explicit error policy (see the binary overload;
+     *  the record index in errors/reports is the 1-based line). */
+    static Trace load_text(std::istream &is,
+                           const TraceReadOptions &opts,
+                           TraceReadReport *report = nullptr);
 
-    /** File convenience wrappers. @throws std::runtime_error on I/O. */
+    /** File convenience wrappers. @throws TraceError /
+     *  std::runtime_error on I/O. */
     void save_binary_file(const std::string &path) const;
     static Trace load_binary_file(const std::string &path);
+    static Trace load_binary_file(const std::string &path,
+                                  const TraceReadOptions &opts,
+                                  TraceReadReport *report = nullptr);
 
   private:
     std::string name_;

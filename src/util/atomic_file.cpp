@@ -4,22 +4,32 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
+
+#include "util/fault_injection.hpp"
 
 namespace voyager {
 
 void
 write_file_atomic(const std::string &path, std::string_view contents)
 {
+    // Fault-injection hook (no-op unless a plan targets this write):
+    // ShortWrite persists only a prefix of the temp file before
+    // failing, FailRename fails the rename step. Either way the
+    // destination file must be left untouched.
+    const IoFaultAction fault = fault_injector().on_atomic_write();
     const std::string tmp = path + ".tmp";
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os) {
             throw std::runtime_error("atomic write: cannot open " + tmp);
         }
-        os.write(contents.data(),
-                 static_cast<std::streamsize>(contents.size()));
+        const std::size_t n = fault == IoFaultAction::ShortWrite
+                                  ? contents.size() / 2
+                                  : contents.size();
+        os.write(contents.data(), static_cast<std::streamsize>(n));
         os.flush();
-        if (!os) {
+        if (!os || fault == IoFaultAction::ShortWrite) {
             os.close();
             std::remove(tmp.c_str());
             throw std::runtime_error("atomic write: short write to " +
@@ -27,7 +37,10 @@ write_file_atomic(const std::string &path, std::string_view contents)
         }
     }
     std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
+    if (fault == IoFaultAction::FailRename)
+        ec = std::make_error_code(std::errc::io_error);
+    else
+        std::filesystem::rename(tmp, path, ec);
     if (ec) {
         std::remove(tmp.c_str());
         throw std::runtime_error("atomic write: rename " + tmp + " -> " +

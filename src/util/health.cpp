@@ -1,0 +1,28 @@
+#include "util/health.hpp"
+
+#include "util/stat_registry.hpp"
+
+namespace voyager {
+
+HealthStats &
+health_stats()
+{
+    static HealthStats stats;
+    return stats;
+}
+
+void
+export_health_stats(StatRegistry &reg)
+{
+    const HealthStats &s = health_stats();
+    reg.counter("health.checks") = s.checks;
+    reg.counter("health.skipped_steps") = s.skipped_steps;
+    reg.counter("health.nonfinite_loss") = s.nonfinite_loss;
+    reg.counter("health.loss_spikes") = s.loss_spikes;
+    reg.counter("health.nonfinite_state") = s.nonfinite_state;
+    reg.counter("health.rollbacks") = s.rollbacks;
+    reg.counter("health.lr_backoffs") = s.lr_backoffs;
+    reg.counter("health.degraded_runs") = s.degraded_runs;
+}
+
+}  // namespace voyager

@@ -25,6 +25,8 @@
 #include "prefetch/registry.hpp"
 #include "sim/simulator.hpp"
 #include "trace/gen/workloads.hpp"
+#include "util/fault_injection.hpp"
+#include "util/health.hpp"
 #include "util/stat_registry.hpp"
 
 #ifndef VOYAGER_GOLDEN_DIR
@@ -129,6 +131,15 @@ run_fig5_tiny()
     nn::Matrix c(3, 5);
     nn::qgemm_nt(qa, qw, c);
     nn::export_op_stats(reg);
+
+    // Watchdog + fault-injection namespaces (DESIGN.md §5.14): this
+    // run neither trains nor injects, so every counter pins at zero.
+    // Reset first — the singletons accumulate across tests in this
+    // binary.
+    health_stats().reset();
+    fault_stats().reset();
+    export_health_stats(reg);
+    export_fault_stats(reg);
 
     StatEmitOptions opts;
     opts.include_volatile = false;

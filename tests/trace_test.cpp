@@ -100,6 +100,218 @@ TEST(Trace, TextRoundTrip)
     EXPECT_FALSE(u[1].is_load);
 }
 
+// ---------------------------------------------------------------------
+// Malformed inputs, one class at a time: every error must be a
+// TraceError carrying the file, the record index / line number and the
+// offending bytes, and the Resync policy must skip exactly the bad
+// records.
+// ---------------------------------------------------------------------
+
+/** A small serialized trace as a mutable byte string. */
+std::string
+serialized(std::size_t n = 6)
+{
+    Trace t("mal");
+    for (std::uint64_t i = 0; i < n; ++i)
+        t.append(acc(i * 3, 0x400000 + i, 0x1000 + i * 64, i % 2 == 0));
+    std::ostringstream os;
+    t.save_binary(os);
+    return os.str();
+}
+
+Trace
+load_bytes(const std::string &bytes,
+           const std::string &file = "input.trc")
+{
+    TraceReadOptions opts;
+    opts.file = file;
+    std::istringstream is(bytes);
+    return Trace::load_binary(is, opts);
+}
+
+/** Byte offset of record i's first byte: the header is magic +
+ *  version + name_len (12 bytes), the name, then two u64 counts. */
+std::size_t
+record_offset(std::size_t i, std::size_t name_len = 3)
+{
+    return 12 + name_len + 16 + i * 25;
+}
+
+TEST(TraceErrors, BadMagicNamesTheFile)
+{
+    std::string bytes = serialized();
+    bytes[0] = 'X';
+    try {
+        load_bytes(bytes);
+        FAIL() << "bad magic accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.file(), "input.trc");
+        EXPECT_EQ(e.record(), TraceError::kNoRecord);
+        EXPECT_NE(std::string(e.what()).find("bad magic"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("input.trc"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceErrors, TruncatedHeaderThrows)
+{
+    const std::string bytes = serialized();
+    // Every cut inside the header region is a header truncation.
+    for (const std::size_t cut : {0u, 3u, 9u, 15u, 30u}) {
+        try {
+            load_bytes(bytes.substr(0, cut));
+            FAIL() << "truncation at " << cut << " accepted";
+        } catch (const TraceError &e) {
+            EXPECT_EQ(e.record(), TraceError::kNoRecord) << cut;
+            EXPECT_NE(std::string(e.what()).find("truncated"),
+                      std::string::npos)
+                << cut;
+        }
+    }
+}
+
+TEST(TraceErrors, ImplausibleNameLengthThrows)
+{
+    std::string bytes = serialized();
+    bytes[8] = '\xff';  // name_len low byte -> huge
+    bytes[9] = '\xff';
+    try {
+        load_bytes(bytes);
+        FAIL() << "implausible name length accepted";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("name length"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceErrors, TruncatedRecordReportsItsIndex)
+{
+    const std::string bytes = serialized();
+    const std::size_t cut = record_offset(4) + 7;  // mid record 4
+    try {
+        load_bytes(bytes.substr(0, cut));
+        FAIL() << "mid-record truncation accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.record(), 4u);
+        EXPECT_NE(std::string(e.what()).find("record 4"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceErrors, BadKindByteQuotesTheBytes)
+{
+    std::string bytes = serialized();
+    bytes[record_offset(2) + 24] = '\x07';  // record 2's kind byte
+    try {
+        load_bytes(bytes);
+        FAIL() << "bad kind byte accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.record(), 2u);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad access-kind byte 0x07"),
+                  std::string::npos);
+        EXPECT_NE(what.find("'"), std::string::npos)
+            << "offending bytes not quoted: " << what;
+    }
+}
+
+TEST(TraceErrors, NonMonotonicIdReportsItsRecord)
+{
+    std::string bytes = serialized();
+    bytes[record_offset(3)] = '\x01';  // record 3's instr_id -> 1 < 6
+    try {
+        load_bytes(bytes);
+        FAIL() << "non-monotonic instr_id accepted";
+    } catch (const TraceError &e) {
+        EXPECT_EQ(e.record(), 3u);
+        EXPECT_NE(std::string(e.what()).find("non-monotonic instr_id"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceErrors, ResyncSkipsBadRecordsAndReports)
+{
+    std::string bytes = serialized();
+    bytes[record_offset(2) + 24] = '\x07';  // one bad kind byte
+    TraceReadOptions opts;
+    opts.on_error = TraceReadOptions::OnError::Resync;
+    TraceReadReport rep;
+    std::istringstream is(bytes);
+    const Trace t = Trace::load_binary(is, opts, &rep);
+    EXPECT_EQ(rep.records, 5u);
+    EXPECT_EQ(rep.skipped, 1u);
+    EXPECT_FALSE(rep.truncated);
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_EQ(t[2].instr_id, 9u);  // record 3 took record 2's slot
+}
+
+TEST(TraceErrors, ResyncStopsAtTruncation)
+{
+    const std::string bytes = serialized();
+    TraceReadOptions opts;
+    opts.on_error = TraceReadOptions::OnError::Resync;
+    TraceReadReport rep;
+    std::istringstream is(bytes.substr(0, record_offset(4) + 7));
+    const Trace t = Trace::load_binary(is, opts, &rep);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(rep.records, 4u);
+    EXPECT_TRUE(rep.truncated);
+}
+
+TEST(TraceErrors, TextMalformedClassesReportLineAndBody)
+{
+    struct Case
+    {
+        const char *body;
+        const char *problem;
+    };
+    const Case cases[] = {
+        {"1 2", "malformed text record"},
+        {"zz 2 3 L", "malformed text record"},
+        {"1 2 3 Q", "bad access kind 'Q'"},
+        {"1 2 3 L extra", "trailing bytes after record"},
+    };
+    for (const auto &c : cases) {
+        std::istringstream is(std::string("5 6 7 L\n") + c.body + "\n");
+        TraceReadOptions opts;
+        opts.file = "t.txt";
+        try {
+            Trace::load_text(is, opts);
+            FAIL() << "accepted: " << c.body;
+        } catch (const TraceError &e) {
+            EXPECT_EQ(e.record(), 2u) << c.body;  // 1-based line
+            const std::string what = e.what();
+            EXPECT_NE(what.find(c.problem), std::string::npos) << what;
+            EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+            EXPECT_NE(what.find(c.body), std::string::npos)
+                << "offending line not quoted: " << what;
+        }
+    }
+    // Non-monotonic ids are caught in text form too.
+    std::istringstream is("9 1 1 L\n3 1 1 L\n");
+    EXPECT_THROW(Trace::load_text(is, TraceReadOptions{}), TraceError);
+}
+
+TEST(TraceErrors, TextResyncSkipsOnlyBadLines)
+{
+    std::istringstream is(
+        "# header comment\n"
+        "0 1 100 L\n"
+        "garbage line\n"
+        "4 1 200 S\n"
+        "\n"
+        "2 1 300 L\n");  // non-monotonic: skipped
+    TraceReadOptions opts;
+    opts.on_error = TraceReadOptions::OnError::Resync;
+    TraceReadReport rep;
+    const Trace t = Trace::load_text(is, opts, &rep);
+    EXPECT_EQ(rep.records, 2u);
+    EXPECT_EQ(rep.skipped, 2u);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[1].instr_id, 4u);
+}
+
 TEST(Recorder, AdvancesInstructionIds)
 {
     Trace t("r");

@@ -58,6 +58,31 @@ QGEMM_STATS = {
     "nn.qgemm.seconds": "gauge",
 }
 
+# The training watchdog's closed stat namespace (DESIGN.md section
+# 5.14): every `health.*` name must be one of these counters (emitted
+# by voyager::export_health_stats).
+HEALTH_STATS = {
+    "health.checks": "counter",
+    "health.skipped_steps": "counter",
+    "health.nonfinite_loss": "counter",
+    "health.loss_spikes": "counter",
+    "health.nonfinite_state": "counter",
+    "health.rollbacks": "counter",
+    "health.lr_backoffs": "counter",
+    "health.degraded_runs": "counter",
+}
+
+# The fault-injection subsystem's closed stat namespace (emitted by
+# voyager::export_fault_stats).
+FAULT_STATS = {
+    "fault.plan_sites": "counter",
+    "fault.injected_grad": "counter",
+    "fault.injected_weight": "counter",
+    "fault.injected_loss_spike": "counter",
+    "fault.injected_io": "counter",
+    "fault.injected_trace": "counter",
+}
+
 COMPRESS_INT8_LEAVES = {
     "scale_min": "gauge",
     "scale_max": "gauge",
@@ -180,6 +205,23 @@ def check_document(doc, errors):
             if expected is None:
                 errors.append(f"{name}: unknown nn.qgemm stat "
                               f"(expected one of {sorted(QGEMM_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
+        if name.startswith("health."):
+            expected = HEALTH_STATS.get(name)
+            if expected is None:
+                errors.append(f"{name}: unknown health stat "
+                              f"(expected one of "
+                              f"{sorted(HEALTH_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
+        if name.startswith("fault."):
+            expected = FAULT_STATS.get(name)
+            if expected is None:
+                errors.append(f"{name}: unknown fault stat "
+                              f"(expected one of {sorted(FAULT_STATS)})")
             elif isinstance(body, dict) and body.get("kind") != expected:
                 errors.append(f"{name}: must be a {expected}, got "
                               f"{body.get('kind')!r}")

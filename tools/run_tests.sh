@@ -17,6 +17,9 @@ ctest --preset tier1 --output-on-failure
 echo "== release: ctest -L checkpoint =="
 ctest --preset checkpoint --output-on-failure
 
+echo "== release: ctest -L fault =="
+ctest --preset fault --output-on-failure
+
 echo "== asan-ubsan: configure + build =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j1
@@ -26,6 +29,9 @@ ctest --preset asan-tier1 --output-on-failure
 
 echo "== asan-ubsan: ctest -L checkpoint =="
 ctest --preset asan-checkpoint --output-on-failure
+
+echo "== asan-ubsan: ctest -L fault =="
+ctest --preset asan-fault --output-on-failure
 
 echo "== stats schema validation =="
 out=$(mktemp /tmp/voyager_stats.XXXXXX.json)

@@ -9,7 +9,8 @@
  *                        [--epochs=5 --passes=4 --degree=1]
  *                        [--checkpoint=FILE --checkpoint_every=1]
  *                        [--resume] [--stop_after=N]
- *                        [--stats_json=FILE]
+ *                        [--stats_json=FILE] [--fault_plan=SPEC]
+ *                        [--strict]
  *   voyager_cli checkpoint-inspect --checkpoint=FILE
  *
  * `gen` writes a synthetic benchmark trace; `stats` prints Table-2
@@ -32,6 +33,8 @@
 #include "sim/simulator.hpp"
 #include "trace/gen/workloads.hpp"
 #include "util/config.hpp"
+#include "util/fault_injection.hpp"
+#include "util/health.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -56,6 +59,7 @@ usage()
            " [--degree=1] [--model_out=FILE] [--scale=small]\n"
            "           [--checkpoint=FILE] [--checkpoint_every=1]"
            " [--resume] [--stop_after=N] [--stats_json=FILE]\n"
+           "           [--fault_plan=SPEC] [--strict]\n"
            "  checkpoint-inspect --checkpoint=FILE\n";
     return 2;
 }
@@ -156,6 +160,11 @@ cmd_simulate(const Config &cfg)
 int
 cmd_train(const Config &cfg)
 {
+    const auto fault_spec = cfg.get_string("fault_plan", "");
+    if (!fault_spec.empty())
+        fault_injector().install(FaultPlan::parse(fault_spec));
+    const bool strict = cfg.get_bool("strict", false);
+
     const auto t = load_trace(cfg);
     const auto sim_cfg = sim_config_for(cfg);
     const auto stream = sim::extract_llc_stream(t, sim_cfg);
@@ -180,13 +189,22 @@ cmd_train(const Config &cfg)
     ckpt.every_epochs = cfg.get_uint("checkpoint_every", 1);
     ckpt.resume = cfg.get_bool("resume", false);
     ckpt.stop_after_epochs = cfg.get_uint("stop_after", 0);
-    const auto res =
-        core::train_online(adapter, stream.size(), train, ckpt);
+    auto res = core::train_online(adapter, stream.size(), train, ckpt);
+    if (res.degraded) {
+        // Recovery exhausted (§5.14): finish the run on the paper's
+        // strongest rule-based baseline instead of dying.
+        std::cerr << "WARNING: training degraded after "
+                  << res.rollbacks
+                  << " rollback(s); falling back to the isb+bo hybrid"
+                  << " at degree " << train.degree << "\n";
+        res.predictions =
+            core::isb_bo_fallback_predictions(stream, train.degree);
+    }
     if (ckpt.stop_after_epochs > 0 &&
         res.epoch_losses.size() < std::min(train.epochs, stream.size())) {
         std::cout << "stopped after " << res.epoch_losses.size()
                   << " epochs; checkpoint at " << ckpt.path << "\n";
-        return 0;
+        return strict && res.degraded ? 1 : 0;
     }
 
     const auto metric = core::unified_accuracy_coverage(
@@ -198,6 +216,8 @@ cmd_train(const Config &cfg)
     const auto r = sim::simulate(t, sim_cfg, replay);
 
     Table tbl({"metric", "value"});
+    tbl.add_row({"degraded", res.degraded ? "yes (isb+bo fallback)"
+                                          : "no"});
     tbl.add_row({"model size", human_bytes(adapter.parameter_bytes())});
     tbl.add_row({"train time", strfmt("%.1fs", res.train_seconds)});
     tbl.add_row({"trained samples",
@@ -226,13 +246,20 @@ cmd_train(const Config &cfg)
         StatRegistry reg;
         res.export_stats(reg, "train");
         reg.gauge("train.unified") = metric.value();
+        if (fault_injector().enabled()) {
+            // Keep clean docs identical across stop/resume splits:
+            // health.checks counts per-process epochs, so only faulted
+            // runs carry the health/fault namespaces here.
+            export_health_stats(reg);
+            export_fault_stats(reg);
+        }
         std::ofstream os(stats_json);
         if (!os)
             throw std::runtime_error("cannot open " + stats_json);
         reg.write_json(os, StatEmitOptions{/*include_volatile=*/false});
         std::cout << "wrote stats to " << stats_json << "\n";
     }
-    return 0;
+    return strict && res.degraded ? 1 : 0;
 }
 
 int
