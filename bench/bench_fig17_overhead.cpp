@@ -18,6 +18,8 @@
 
 #include "common.hpp"
 #include "core/compress.hpp"
+#include "prefetch/isb.hpp"
+#include "prefetch/stms.hpp"
 
 int
 main(int argc, char **argv)
@@ -123,6 +125,29 @@ main(int argc, char **argv)
             rep.pruned_int8_bytes;
         ctx.stats().counter(p + ".delta_lstm_bytes") = dl_bytes;
         ctx.stats().counter(p + ".temporal_table_bytes") = temporal;
+
+        // Measured flat-table footprint (DESIGN.md §5.15): run the
+        // temporal baselines over the stream and read the bytes their
+        // flat hash tables actually hold, next to the idealized
+        // per-entry storage model that feeds the golden-pinned
+        // storage_bytes() accounting above.
+        prefetch::Isb isb_pf;
+        prefetch::Stms stms_pf;
+        for (const auto &a : stream) {
+            isb_pf.on_access(a);
+            stms_pf.on_access(a);
+        }
+        ctx.stats().counter(p + ".isb_table_bytes") =
+            isb_pf.table_bytes();
+        ctx.stats().counter(p + ".stms_table_bytes") =
+            stms_pf.table_bytes();
+        std::cout << "  metadata tables: isb "
+                  << human_bytes(isb_pf.storage_bytes()) << " model / "
+                  << human_bytes(isb_pf.table_bytes())
+                  << " flat, stms "
+                  << human_bytes(stms_pf.storage_bytes())
+                  << " model / " << human_bytes(stms_pf.table_bytes())
+                  << " flat\n";
 
         // Int8 engine stats (§5.13): quantization quality is
         // deterministic; the us/sample timings are wall-clock and so

@@ -180,9 +180,11 @@ BenchContext::get_trace(const std::string &benchmark)
         stats_.counter(p + ".unique_lines") = ts.unique_lines;
         stats_.counter(p + ".unique_pages") = ts.unique_pages;
         stats_.gauge(p + ".load_fraction") = ts.load_fraction;
-        it = traces_.emplace(benchmark, std::move(t)).first;
+        it = traces_.emplace(
+            benchmark,
+            std::make_unique<trace::Trace>(std::move(t))).first;
     }
-    return it->second;
+    return *it->second;
 }
 
 const std::vector<LlcAccess> &
@@ -213,9 +215,12 @@ BenchContext::get_stream(const std::string &benchmark)
         }
         stats_.counter("trace." + stat_name_segment(benchmark) +
                        ".llc_stream_len") = stream.size();
-        it = streams_.emplace(benchmark, std::move(stream)).first;
+        it = streams_.emplace(
+            benchmark,
+            std::make_unique<std::vector<LlcAccess>>(
+                std::move(stream))).first;
     }
-    return it->second;
+    return *it->second;
 }
 
 core::VoyagerConfig
@@ -489,9 +494,9 @@ BenchContext::delta_lstm_bytes(const std::string &benchmark)
     const auto &stream = get_stream(benchmark);
     const auto cfg = delta_lstm_config();
     const auto vocab = core::DeltaVocab::build(stream, cfg.max_deltas);
-    std::unordered_map<Addr, int> pcs;
+    FlatHashSet<Addr> pcs;
     for (const auto &a : stream)
-        pcs.emplace(a.pc, 0);
+        pcs.insert(a.pc);
     core::DeltaLstmModel model(
         cfg, static_cast<std::int32_t>(pcs.size()) + 1, vocab.size());
     return model.parameter_bytes();

@@ -29,7 +29,8 @@ Vocabulary::build(const std::vector<LlcAccess> &stream,
         }
         const bool frequent =
             !cfg.use_deltas || line_freq.count(a.line) >= cfg.min_addr_freq;
-        v.line_is_frequent_.emplace(a.line, frequent);
+        if (!frequent)
+            v.infrequent_lines_.insert(a.line);
         if (frequent) {
             const Addr page = page_of_line(a.line);
             if (!v.page_ids_.count(page)) {
@@ -70,8 +71,9 @@ Vocabulary::encode(Addr pc, Addr line, std::optional<Addr> prev_line) const
     const Addr page = page_of_line(line);
     const auto off = static_cast<std::int32_t>(offset_of_line(line));
 
-    auto fit = line_is_frequent_.find(line);
-    const bool frequent = fit == line_is_frequent_.end() || fit->second;
+    // Missing from the infrequent set means frequent: lines unseen
+    // during profiling fall back to the absolute representation.
+    const bool frequent = !infrequent_lines_.contains(line);
     if (frequent || !prev_line) {
         auto it = page_ids_.find(page);
         t.page = it == page_ids_.end() ? kOovPage : it->second;
@@ -137,8 +139,15 @@ encode_stream(const std::vector<LlcAccess> &stream, const Vocabulary &vocab)
     es.offset.reserve(stream.size());
     es.line.reserve(stream.size());
     es.is_load.reserve(stream.size());
+    // Pipeline the infrequent-line filter probe: the walker knows its
+    // future lines, so warm the filter a few accesses ahead of the
+    // encode that reads it (util/flat_hash prefetch contract).
+    constexpr std::size_t kLookahead = 12;
     std::optional<Addr> prev;
-    for (const auto &a : stream) {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const auto &a = stream[i];
+        if (i + kLookahead < stream.size())
+            vocab.prefetch_line(stream[i + kLookahead].line);
         const Token t = vocab.encode(a.pc, a.line, prev);
         es.pc.push_back(t.pc);
         es.page.push_back(t.page);

@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/prefetcher.hpp"
+#include "util/flat_hash.hpp"
 #include "util/types.hpp"
 
 namespace voyager::core {
@@ -102,17 +102,40 @@ class Vocabulary
         return t > static_cast<std::int32_t>(pages_.size());
     }
 
+    /** Admitted page deltas in token order (most frequent first). */
+    const std::vector<std::int64_t> &page_deltas() const
+    {
+        return page_deltas_;
+    }
+
+    /**
+     * Warm the infrequent-line filter for an upcoming encode of
+     * `line`. Callers that walk a known stream (encode_stream) issue
+     * this a few accesses ahead so the filter probe — the first
+     * table encode() touches, and usually a miss, since the frequent
+     * majority of lines is absent by design — never stalls. Tag-only:
+     * see FlatHashSet::prefetch_tag.
+     */
+    void
+    prefetch_line(Addr line) const
+    {
+        infrequent_lines_.prefetch_tag(line);
+    }
+
     const VocabConfig &config() const { return cfg_; }
 
   private:
     VocabConfig cfg_;
-    std::unordered_map<Addr, std::int32_t> pc_ids_;
-    std::unordered_map<Addr, std::int32_t> page_ids_;  ///< page -> token
-    std::vector<Addr> pages_;                          ///< token-1 -> page
-    std::unordered_map<std::int64_t, std::int32_t> page_delta_ids_;
+    FlatHashMap<Addr, std::int32_t> pc_ids_;
+    FlatHashMap<Addr, std::int32_t> page_ids_;  ///< page -> token
+    std::vector<Addr> pages_;                   ///< token-1 -> page
+    FlatHashMap<std::int64_t, std::int32_t> page_delta_ids_;
     std::vector<std::int64_t> page_deltas_;
-    /** Lines frequent enough to be represented as absolute tokens. */
-    std::unordered_map<Addr, bool> line_is_frequent_;
+    /**
+     * Lines too rare for absolute tokens (paper §4.3). Missing means
+     * frequent, so only the infrequent minority is stored.
+     */
+    FlatHashSet<Addr> infrequent_lines_;
 };
 
 /** Per-access token ids for a whole stream, precomputed once. */

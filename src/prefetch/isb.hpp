@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/prefetcher.hpp"
+#include "util/flat_hash.hpp"
 
 namespace voyager::prefetch {
 
@@ -39,6 +39,19 @@ class Isb final : public Prefetcher
     /** Number of allocated structural streams (for tests/diagnostics). */
     std::uint64_t num_streams() const { return next_stream_base_ / chunk_; }
 
+    /**
+     * Actual bytes held by the flat metadata tables, as opposed to
+     * the idealized per-entry model of storage_bytes() (which feeds
+     * the golden-pinned Fig. 5/17 accounting and must not drift).
+     */
+    std::uint64_t
+    table_bytes() const
+    {
+        return last_by_pc_.storage_bytes() +
+               phys_to_struct_.storage_bytes() +
+               struct_to_phys_.storage_bytes();
+    }
+
   private:
     /** Map B to structural address s, undoing any previous mapping. */
     void map_structural(Addr line, std::uint64_t s);
@@ -47,9 +60,9 @@ class Isb final : public Prefetcher
     std::uint32_t chunk_;
     std::uint64_t next_stream_base_ = 0;
 
-    std::unordered_map<Addr, Addr> last_by_pc_;          ///< training units
-    std::unordered_map<Addr, std::uint64_t> phys_to_struct_;
-    std::unordered_map<std::uint64_t, Addr> struct_to_phys_;
+    FlatHashMap<Addr, Addr> last_by_pc_;          ///< training units
+    FlatHashMap<Addr, std::uint64_t> phys_to_struct_;
+    FlatHashMap<std::uint64_t, Addr> struct_to_phys_;
 };
 
 }  // namespace voyager::prefetch

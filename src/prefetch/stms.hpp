@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/prefetcher.hpp"
+#include "util/flat_hash.hpp"
 
 namespace voyager::prefetch {
 
@@ -31,10 +31,22 @@ class Stms final : public Prefetcher
     void export_stats(StatRegistry &reg,
                       const std::string &prefix) const override;
 
+    /**
+     * Actual bytes held by the history buffer plus the flat index
+     * table, as opposed to the idealized per-entry model of
+     * storage_bytes() (golden-pinned; must not drift).
+     */
+    std::uint64_t
+    table_bytes() const
+    {
+        return history_.capacity() * sizeof(Addr) +
+               index_.storage_bytes();
+    }
+
   private:
     std::uint32_t degree_;
-    std::vector<Addr> history_;                       ///< global GHB
-    std::unordered_map<Addr, std::uint64_t> index_;   ///< line -> last pos
+    std::vector<Addr> history_;                ///< global GHB
+    FlatHashMap<Addr, std::uint64_t> index_;   ///< line -> last pos
 };
 
 }  // namespace voyager::prefetch

@@ -100,12 +100,18 @@ FreqCounter::count(std::uint64_t key) const
 std::vector<std::pair<std::uint64_t, std::uint64_t>>
 FreqCounter::top_k(std::size_t k) const
 {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> items(
-        counts_.begin(), counts_.end());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+    items.reserve(counts_.size());
+    for (const auto &[key, cnt] : counts_)
+        items.emplace_back(key, cnt);
     std::sort(items.begin(), items.end(), [](const auto &a, const auto &b) {
         if (a.second != b.second)
             return a.second > b.second;
-        return a.first < b.first;
+        // Signed tie-break: negative deltas are stored as huge
+        // unsigned values, so a raw key compare would sort them after
+        // every positive delta at equal count.
+        return static_cast<std::int64_t>(a.first) <
+               static_cast<std::int64_t>(b.first);
     });
     if (items.size() > k)
         items.resize(k);

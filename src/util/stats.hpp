@@ -9,8 +9,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+#include "util/flat_hash.hpp"
 
 namespace voyager {
 
@@ -83,15 +84,20 @@ class FreqCounter
     std::size_t unique() const { return counts_.size(); }
     std::uint64_t total() const { return total_; }
 
-    /** Keys sorted by descending frequency (ties by key). */
+    /**
+     * Keys sorted by descending frequency. Equal counts tie-break on
+     * the key reinterpreted as a signed value, so negative page
+     * deltas (stored as two's-complement uint64) rank ahead of larger
+     * positive ones instead of after every positive delta.
+     */
     std::vector<std::pair<std::uint64_t, std::uint64_t>>
     top_k(std::size_t k) const;
 
-    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    const FlatHashMap<std::uint64_t, std::uint64_t> &
     raw() const { return counts_; }
 
   private:
-    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    FlatHashMap<std::uint64_t, std::uint64_t> counts_;
     std::uint64_t total_ = 0;
 };
 

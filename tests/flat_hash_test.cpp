@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the flat open-addressing hash containers (DESIGN.md
+ * §5.15): insert/find/erase semantics, tombstone handling, growth,
+ * iteration, copy/move, string keys, and a randomized differential
+ * check against std::unordered_map including ISB-style erase churn.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace voyager {
+namespace {
+
+TEST(FlatHashMap, InsertFindErase)
+{
+    FlatHashMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.storage_bytes(), 0u);
+    EXPECT_EQ(m.find(7), m.end());
+
+    auto [it, inserted] = m.emplace(7, 42);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(it->first, 7u);
+    EXPECT_EQ(it->second, 42);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_GT(m.storage_bytes(), 0u);
+
+    // emplace on a present key leaves the mapped value untouched.
+    auto [it2, inserted2] = m.emplace(7, 99);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(it2->second, 42);
+
+    m[7] = 43;
+    EXPECT_EQ(m.find(7)->second, 43);
+    EXPECT_EQ(m.count(7), 1u);
+    EXPECT_TRUE(m.contains(7));
+
+    EXPECT_EQ(m.erase(7), 1u);
+    EXPECT_EQ(m.erase(7), 0u);
+    EXPECT_EQ(m.find(7), m.end());
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatHashMap, OperatorBracketDefaultConstructs)
+{
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    m[5] += 3;
+    m[5] += 4;
+    EXPECT_EQ(m[5], 7u);
+    EXPECT_EQ(m[6], 0u);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMap, GrowthKeepsEveryEntry)
+{
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    const std::size_t n = 10000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        m[i * 2654435761u] = i;
+    EXPECT_EQ(m.size(), n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        auto it = m.find(i * 2654435761u);
+        ASSERT_NE(it, m.end());
+        EXPECT_EQ(it->second, i);
+    }
+    // Power-of-two capacity, bounded load factor.
+    EXPECT_EQ(m.capacity() & (m.capacity() - 1), 0u);
+    EXPECT_GE(m.capacity(), n);
+}
+
+/** Hash functor colliding everything into one bucket chain. */
+struct CollidingHash
+{
+    std::uint64_t
+    operator()(std::uint64_t key) const
+    {
+        return (key & 0x7full) << 57;  // distinct tags, same bucket
+    }
+};
+
+TEST(FlatHashMap, LinearBucketProbingHandlesCollisions)
+{
+    FlatHashMap<std::uint64_t, int, CollidingHash> m;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        m.emplace(i, static_cast<int>(i));
+    EXPECT_EQ(m.size(), 64u);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        auto it = m.find(i);
+        ASSERT_NE(it, m.end()) << i;
+        EXPECT_EQ(it->second, static_cast<int>(i));
+    }
+    EXPECT_EQ(m.find(1000), m.end());
+    // Erase odd keys, then verify even ones still probe through.
+    for (std::uint64_t i = 1; i < 64; i += 2)
+        EXPECT_EQ(m.erase(i), 1u);
+    for (std::uint64_t i = 0; i < 64; i += 2)
+        ASSERT_NE(m.find(i), m.end()) << i;
+    for (std::uint64_t i = 1; i < 64; i += 2)
+        EXPECT_EQ(m.find(i), m.end()) << i;
+}
+
+TEST(FlatHashMap, EraseChurnDoesNotRatchetStorage)
+{
+    // ISB-style churn: continuous remapping erases and reinserts.
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        m[i] = i;
+    const auto bytes_before = m.storage_bytes();
+    for (std::uint64_t round = 0; round < 1000; ++round) {
+        const std::uint64_t k = round % 256;
+        m.erase(k);
+        m[k + 256] = round;
+        m.erase(k + 256);
+        m[k] = round;
+    }
+    EXPECT_EQ(m.size(), 256u);
+    // Churn at constant live size must not blow the table up by more
+    // than one doubling.
+    EXPECT_LE(m.storage_bytes(), bytes_before * 2);
+    for (std::uint64_t i = 0; i < 256; ++i)
+        ASSERT_NE(m.find(i), m.end()) << i;
+}
+
+TEST(FlatHashMap, IterationVisitsEachEntryOnce)
+{
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        m[i * 7919] = i;
+    std::vector<bool> seen(1000, false);
+    std::size_t visits = 0;
+    for (const auto &[key, value] : m) {
+        EXPECT_EQ(key, value * 7919);
+        ASSERT_LT(value, seen.size());
+        EXPECT_FALSE(seen[value]);
+        seen[value] = true;
+        ++visits;
+    }
+    EXPECT_EQ(visits, 1000u);
+}
+
+TEST(FlatHashMap, CopyAndMove)
+{
+    FlatHashMap<std::uint64_t, std::string> m;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        m.emplace(i, std::to_string(i));
+
+    FlatHashMap<std::uint64_t, std::string> copy(m);
+    EXPECT_EQ(copy.size(), 100u);
+    EXPECT_EQ(copy.find(42)->second, "42");
+    copy[42] = "changed";
+    EXPECT_EQ(m.find(42)->second, "42");  // deep copy
+
+    FlatHashMap<std::uint64_t, std::string> moved(std::move(copy));
+    EXPECT_EQ(moved.size(), 100u);
+    EXPECT_EQ(moved.find(42)->second, "changed");
+    EXPECT_TRUE(copy.empty());  // NOLINT: moved-from is empty
+
+    m = moved;
+    EXPECT_EQ(m.find(42)->second, "changed");
+    m = std::move(moved);
+    EXPECT_EQ(m.size(), 100u);
+}
+
+TEST(FlatHashMap, StringKeys)
+{
+    FlatHashMap<std::string, int> m;
+    m.emplace("bfs_voyager_d8", 1);
+    m.emplace("pr_delta_lstm_d8", 2);
+    m["mcf_isb_d1"] = 3;
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.find("pr_delta_lstm_d8")->second, 2);
+    EXPECT_EQ(m.find("absent"), m.end());
+    EXPECT_EQ(m.erase("bfs_voyager_d8"), 1u);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMap, SignedKeys)
+{
+    FlatHashMap<std::int64_t, int> m;
+    m.emplace(-5, 1);
+    m.emplace(5, 2);
+    m.emplace(0, 3);
+    EXPECT_EQ(m.find(-5)->second, 1);
+    EXPECT_EQ(m.find(5)->second, 2);
+    EXPECT_EQ(m.find(0)->second, 3);
+    EXPECT_EQ(m.find(-6), m.end());
+}
+
+TEST(FlatHashMap, ClearKeepsAllocationAndReuse)
+{
+    FlatHashMap<std::uint64_t, int> m;
+    for (std::uint64_t i = 0; i < 500; ++i)
+        m[i] = 1;
+    const auto bytes = m.storage_bytes();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.storage_bytes(), bytes);
+    EXPECT_EQ(m.find(3), m.end());
+    for (std::uint64_t i = 0; i < 500; ++i)
+        m[i] = 2;
+    EXPECT_EQ(m.size(), 500u);
+    EXPECT_EQ(m.find(3)->second, 2);
+}
+
+TEST(FlatHashMap, ReserveAvoidsRehash)
+{
+    FlatHashMap<std::uint64_t, int> m;
+    m.reserve(1000);
+    const auto bytes = m.storage_bytes();
+    EXPECT_GE(m.capacity(), 1000u);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        m[i] = 1;
+    EXPECT_EQ(m.storage_bytes(), bytes);
+}
+
+TEST(FlatHashMap, DifferentialAgainstStdUnorderedMap)
+{
+    // Random insert/erase/lookup trace compared operation-for-
+    // operation against the reference container.
+    Rng rng(12345);
+    FlatHashMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    for (int op = 0; op < 50000; ++op) {
+        const std::uint64_t key = rng.next_below(4096);
+        const std::uint64_t action = rng.next_below(10);
+        if (action < 5) {
+            flat[key] = static_cast<std::uint64_t>(op);
+            ref[key] = static_cast<std::uint64_t>(op);
+        } else if (action < 7) {
+            EXPECT_EQ(flat.erase(key), ref.erase(key));
+        } else {
+            const auto fit = flat.find(key);
+            const auto rit = ref.find(key);
+            ASSERT_EQ(fit == flat.end(), rit == ref.end()) << key;
+            if (rit != ref.end()) {
+                EXPECT_EQ(fit->second, rit->second);
+            }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Full-content equivalence at the end.
+    std::size_t visited = 0;
+    for (const auto &[key, value] : flat) {
+        auto rit = ref.find(key);
+        ASSERT_NE(rit, ref.end());
+        EXPECT_EQ(value, rit->second);
+        ++visited;
+    }
+    EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMap, HashedLookupsMatchPlainOnes)
+{
+    // prefetch()/prefetch_tag() return the key's hash; the *_hashed
+    // entry points must agree with find()/contains() for present and
+    // absent keys, across rehashes (the hash is size-independent).
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    EXPECT_EQ(m.find_hashed(3, m.prefetch(3)), m.end());
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        m[i * 2654435761u] = i;
+        // Hash taken before the insert below may trigger a rehash.
+        const std::uint64_t k = i * 2654435761u;
+        const std::uint64_t h = m.prefetch(k);
+        m[(i + 7) * 31u] = i;
+        auto it = m.find_hashed(k, h);
+        ASSERT_NE(it, m.end()) << i;
+        EXPECT_EQ(it->second, i);
+    }
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        const std::uint64_t present = i * 2654435761u;
+        const std::uint64_t absent = present + 1;
+        EXPECT_TRUE(m.contains_hashed(present,
+                                      m.prefetch_tag(present)));
+        EXPECT_EQ(m.contains_hashed(absent, m.prefetch_tag(absent)),
+                  m.contains(absent));
+    }
+}
+
+TEST(FlatHashSet, HashedContainsMatchesPlain)
+{
+    FlatHashSet<Addr> s;
+    EXPECT_FALSE(s.contains_hashed(0x40, s.prefetch_tag(0x40)));
+    for (Addr a = 0; a < 1000; ++a)
+        s.insert(a * 64);
+    for (Addr a = 0; a < 1000; ++a) {
+        EXPECT_TRUE(s.contains_hashed(a * 64, s.prefetch(a * 64)));
+        EXPECT_FALSE(
+            s.contains_hashed(a * 64 + 1, s.prefetch_tag(a * 64 + 1)));
+    }
+}
+
+TEST(FlatHashSet, BasicMembershipAndIteration)
+{
+    FlatHashSet<Addr> s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.insert(0x100));
+    EXPECT_FALSE(s.insert(0x100));
+    EXPECT_TRUE(s.insert(0x200));
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(0x100));
+    EXPECT_EQ(s.count(0x200), 1u);
+    EXPECT_FALSE(s.contains(0x300));
+    std::vector<Addr> keys;
+    for (const Addr a : s)
+        keys.push_back(a);
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(keys, (std::vector<Addr>{0x100, 0x200}));
+    EXPECT_EQ(s.erase(0x100), 1u);
+    EXPECT_FALSE(s.contains(0x100));
+    EXPECT_GT(s.storage_bytes(), 0u);
+}
+
+TEST(FlatHashSet, LargeRandomMembership)
+{
+    Rng rng(99);
+    FlatHashSet<std::uint64_t> s;
+    std::vector<std::uint64_t> members;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t k = rng.next_u64();
+        if (s.insert(k))
+            members.push_back(k);
+    }
+    EXPECT_EQ(s.size(), members.size());
+    for (const auto k : members)
+        ASSERT_TRUE(s.contains(k));
+}
+
+}  // namespace
+}  // namespace voyager

@@ -231,6 +231,24 @@ TEST(FreqCounter, TopKTieBreaksByKey)
     EXPECT_EQ(top[1].first, 9u);
 }
 
+TEST(FreqCounter, TopKTieBreaksBySignedKey)
+{
+    // Page deltas store negatives as two's-complement uint64. At
+    // equal count the tie-break must compare them as signed values:
+    // -2 ranks ahead of +5, and a raw unsigned compare would not.
+    FreqCounter f;
+    f.add(static_cast<std::uint64_t>(std::int64_t{-2}), 3);
+    f.add(5, 3);
+    f.add(static_cast<std::uint64_t>(std::int64_t{-7}), 3);
+    f.add(1, 4);
+    const auto top = f.top_k(4);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_EQ(top[0].first, 1u);  // highest count first
+    EXPECT_EQ(static_cast<std::int64_t>(top[1].first), -7);
+    EXPECT_EQ(static_cast<std::int64_t>(top[2].first), -2);
+    EXPECT_EQ(static_cast<std::int64_t>(top[3].first), 5);
+}
+
 TEST(Stats, SafeRatioAndPct)
 {
     EXPECT_EQ(safe_ratio(1.0, 0.0), 0.0);

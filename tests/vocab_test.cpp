@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/vocab.hpp"
+#include "util/random.hpp"
 
 namespace voyager::core {
 namespace {
@@ -144,6 +145,98 @@ TEST(Vocab, EncodedStreamAlignsWithInput)
         EXPECT_GE(es.offset[i], 0);
         EXPECT_LT(es.offset[i], v.num_offset_tokens());
     }
+}
+
+TEST(Vocab, AdmittedDeltaOrderIsPinned)
+{
+    // The delta token ids come from FreqCounter::top_k, whose order
+    // at equal counts is pinned by the signed-key tie-break — so a
+    // vocabulary built from a stream with tied delta frequencies
+    // must admit deltas most-frequent-first, negatives before larger
+    // positives at equal count. (Token ids feed the golden stats:
+    // this order must never drift with the container's iteration
+    // order.)
+    std::vector<LlcAccess> s;
+    // Frequent anchor so every infrequent access deltas against the
+    // same page.
+    const Addr anchor = make_line(100, 0);
+    for (int i = 0; i < 8; ++i)
+        s.push_back(acc(1, anchor));
+    // Page delta +3 twice, deltas -2 and +5 once each (tied); the
+    // offsets are unique so every hop line stays infrequent.
+    const std::int64_t hops[] = {3, -2, 3, 5};
+    std::uint64_t off = 1;
+    for (const std::int64_t dp : hops) {
+        s.push_back(acc(2, make_line(static_cast<Addr>(100 + dp),
+                                     off++)));
+        s.push_back(acc(1, anchor));
+    }
+    const auto v = Vocabulary::build(s);
+    const auto &deltas = v.page_deltas();
+    ASSERT_GE(deltas.size(), 3u);
+    EXPECT_EQ(deltas[0], 3);   // count 2
+    EXPECT_EQ(deltas[1], -2);  // count 1, signed tie-break
+    EXPECT_EQ(deltas[2], 5);   // count 1
+}
+
+TEST(Vocab, FuzzEncodeDecodeRoundTrip)
+{
+    // Randomized walk mixing frequent lines (drawn from a small
+    // pool), infrequent one-offs with page-boundary offsets (0 and
+    // 63, driving the offset delta to its ±63 extremes), and large
+    // page hops whose deltas fall out of the admitted set (OOV).
+    // Every decodable token must round-trip to the encoded line.
+    Rng rng(2024);
+    std::vector<Addr> pool;
+    for (int p = 0; p < 8; ++p)
+        pool.push_back(make_line(100 + p, rng.next_below(64)));
+    std::vector<LlcAccess> s;
+    for (int i = 0; i < 2000; ++i) {
+        if (rng.next_below(4) != 0) {
+            s.push_back(acc(1, pool[rng.next_below(pool.size())]));
+            continue;
+        }
+        // Infrequent: random page, boundary-biased offset.
+        const Addr page = 50 + rng.next_below(5000);
+        const std::uint64_t r = rng.next_below(4);
+        const std::uint64_t off =
+            r == 0 ? 0 : r == 1 ? 63 : rng.next_below(64);
+        s.push_back(acc(2, make_line(page, off)));
+    }
+    VocabConfig cfg;
+    cfg.max_page_deltas = 16;  // force some deltas out-of-vocab
+    const auto v = Vocabulary::build(s, cfg);
+
+    std::optional<Addr> prev;
+    std::size_t delta_tokens = 0;
+    std::size_t oov_pages = 0;
+    for (const auto &a : s) {
+        const Token t = v.encode(a.pc, a.line, prev);
+        if (!prev) {
+            EXPECT_FALSE(t.is_delta);  // nothing to be relative to
+        }
+        if (t.is_delta)
+            ++delta_tokens;
+        if (t.page == Vocabulary::kOovPage) {
+            ++oov_pages;
+        } else {
+            const auto line =
+                v.decode(t.page, t.offset, prev.value_or(0));
+            ASSERT_TRUE(line.has_value());
+            EXPECT_EQ(*line, a.line);
+        }
+        prev = a.line;
+    }
+    // The stream must actually exercise all three encodings.
+    EXPECT_GT(delta_tokens, 0u);
+    EXPECT_GT(oov_pages, 0u);
+
+    // Lines never seen during profiling fall back to the absolute
+    // path (missing from the infrequent filter means frequent); a
+    // page outside the vocabulary must come back OOV, not crash.
+    const Token unseen = v.encode(77, make_line(999999, 17), pool[0]);
+    EXPECT_FALSE(unseen.is_delta);
+    EXPECT_EQ(unseen.page, Vocabulary::kOovPage);
 }
 
 TEST(Vocab, FrequentThresholdRespected)

@@ -83,6 +83,45 @@ FAULT_STATS = {
     "fault.injected_trace": "counter",
 }
 
+# The flat-hash micro-benchmark's closed namespace (DESIGN.md section
+# 5.15, emitted by bench_micro_hash):
+#   micro_hash.<dist>.<op>.{flat_ns,std_ns,speedup}  wall-clock gauges
+#   micro_hash.<dist>.{keys,flat_storage_bytes}      counters
+MICRO_HASH_DISTS = {"vocab", "isb"}
+MICRO_HASH_OPS = {"insert", "hit", "hit_serial", "miss"}
+MICRO_HASH_OP_LEAVES = {
+    "flat_ns": "gauge",
+    "std_ns": "gauge",
+    "speedup": "gauge",
+}
+MICRO_HASH_DIST_LEAVES = {
+    "keys": "counter",
+    "flat_storage_bytes": "counter",
+}
+
+
+def check_micro_hash(name, body, errors):
+    parts = name.split(".")
+    expected = None
+    if (len(parts) == 4 and parts[1] in MICRO_HASH_DISTS
+            and parts[2] in MICRO_HASH_OPS):
+        expected = MICRO_HASH_OP_LEAVES.get(parts[3])
+    elif len(parts) == 3 and parts[1] in MICRO_HASH_DISTS:
+        expected = MICRO_HASH_DIST_LEAVES.get(parts[2])
+    if expected is None:
+        errors.append(
+            f"{name}: unknown micro_hash stat (expected "
+            f"micro_hash.<dist>.<op>.<leaf> with dist in "
+            f"{sorted(MICRO_HASH_DISTS)}, op in "
+            f"{sorted(MICRO_HASH_OPS)}, leaf in "
+            f"{sorted(MICRO_HASH_OP_LEAVES)}; or "
+            f"micro_hash.<dist>.<leaf> with leaf in "
+            f"{sorted(MICRO_HASH_DIST_LEAVES)})")
+    elif isinstance(body, dict) and body.get("kind") != expected:
+        errors.append(f"{name}: must be a {expected}, got "
+                      f"{body.get('kind')!r}")
+
+
 COMPRESS_INT8_LEAVES = {
     "scale_min": "gauge",
     "scale_max": "gauge",
@@ -225,6 +264,8 @@ def check_document(doc, errors):
             elif isinstance(body, dict) and body.get("kind") != expected:
                 errors.append(f"{name}: must be a {expected}, got "
                               f"{body.get('kind')!r}")
+        if name.startswith("micro_hash."):
+            check_micro_hash(name, body, errors)
         if ".compress.int8." in name:
             leaf = name.split(".compress.int8.", 1)[1]
             expected = COMPRESS_INT8_LEAVES.get(leaf)

@@ -48,4 +48,18 @@ qgemm_out=$(./build/bench/bench_micro_nn --op=qgemm \
     --benchmark_min_time=0.05 2>&1)
 printf '%s\n' "$qgemm_out" | grep -q "BM_QgemmNtVoyager"
 
+# Flat-hash smoke (DESIGN.md section 5.15): tiny key counts — this
+# proves the sweeps execute and emit a schema-valid micro_hash.*
+# document in both build flavours, not that the speedups hold (the
+# perf claims live in the full bench run). The ASan build exercises
+# the raw-memory slot array under instrumentation.
+echo "== bench_micro_hash smoke (release + asan) =="
+hash_out=$(mktemp /tmp/voyager_hash.XXXXXX.json)
+./build/bench/bench_micro_hash --n_vocab=4096 --n_isb=4096 \
+    --reps=1 --stats_json="$hash_out" >/dev/null
+python3 tools/check_stats_schema.py "$hash_out"
+rm -f "$hash_out"
+./build-asan/bench/bench_micro_hash --n_vocab=2048 --n_isb=2048 \
+    --reps=1 >/dev/null
+
 echo "all gates passed"
