@@ -1,0 +1,173 @@
+/**
+ * @file
+ * bench_serve — batched multi-tenant serving throughput (DESIGN.md
+ * §5.16). Trains one scaled Voyager cheaply (bounded prefix, no
+ * bench_cache entry: the sweep measures forward throughput, not
+ * accuracy), then serves N tenants — contiguous slices of the same
+ * LLC stream — through the src/serve/ pipeline, sweeping inference
+ * engine {fp32, int8} × micro-batch size and reporting wall-clock
+ * requests/sec plus the speedup over unbatched (max_batch=1) serving.
+ * A final canonical run (fp32, largest batch) exports the literal
+ * closed `serve.*` namespace into the stats document.
+ *
+ * Extra flags (on top of the common ones in bench/common.hpp):
+ *   --tenants=N              simulated clients (default 4)
+ *   --requests=N             accesses served per tenant (default 300)
+ *   --serve_batches=a,b,c    max_batch sweep (default 1,2,4,8)
+ *   --serve_degree=N         prefetch degree per request (default 2)
+ *   --serve_train_samples=N  training-sample cap (default 2000)
+ */
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/client.hpp"
+#include "serve/predictor.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace voyager;
+
+/** Tenant slices: contiguous, servable (index >= seq_len - 1) and
+ *  spread evenly over the stream so tenants see distinct phases. */
+std::vector<std::vector<sim::LlcAccess>>
+tenant_slices(const std::vector<core::LlcAccess> &stream,
+              std::size_t min_index, std::size_t tenants,
+              std::size_t requests)
+{
+    const std::size_t usable = stream.size() - min_index;
+    const std::size_t len = std::min(requests, usable / tenants);
+    std::vector<std::vector<sim::LlcAccess>> slices;
+    for (std::size_t i = 0; i < tenants; ++i) {
+        const std::size_t start =
+            min_index + i * (usable - len) / std::max<std::size_t>(
+                                                 1, tenants - 1);
+        slices.emplace_back(stream.begin() + start,
+                            stream.begin() + start + len);
+    }
+    return slices;
+}
+
+/** One sweep cell: serve every tenant to exhaustion, return wall
+ *  seconds spent inside run_interleaved. */
+double
+serve_once(core::VoyagerAdapter &adapter,
+           const std::vector<std::vector<sim::LlcAccess>> &slices,
+           std::size_t max_batch, std::uint32_t degree,
+           std::uint64_t seed, StatRegistry *reg = nullptr)
+{
+    serve::AdapterPredictor pred(adapter);
+    serve::ServeConfig sc;
+    sc.max_batch = max_batch;
+    serve::PrefetchServer server(pred, sc);
+    std::vector<serve::SimulatedClient> clients;
+    for (std::uint32_t t = 0;
+         t < static_cast<std::uint32_t>(slices.size()); ++t)
+        clients.emplace_back(t, slices[t], adapter.vocab(),
+                             adapter.model().config().seq_len, degree);
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::run_interleaved(server, clients, seed);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    if (reg != nullptr)
+        server.export_stats(*reg);
+    return dt.count();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchContext ctx(argc, argv, "serve");
+    ctx.print_banner(std::cout,
+                     "Batched multi-tenant serving throughput "
+                     "(DESIGN.md §5.16)");
+
+    const auto benches = ctx.benchmarks({"bfs"});
+    const std::string benchmark =
+        benches.empty() ? std::string("bfs") : benches.front();
+    const auto &stream = ctx.get_stream(benchmark);
+
+    const std::size_t tenants =
+        std::max<std::size_t>(1, ctx.raw().get_uint("tenants", 4));
+    const std::size_t requests = ctx.raw().get_uint("requests", 300);
+    const auto degree = static_cast<std::uint32_t>(
+        ctx.raw().get_uint("serve_degree", 2));
+    const std::size_t train_cap =
+        ctx.raw().get_uint("serve_train_samples", 2000);
+    std::vector<std::size_t> batches;
+    for (const auto &tok : split(
+             ctx.raw().get_string("serve_batches", "1,2,4,8"), ','))
+        batches.push_back(std::stoul(tok));
+
+    // Train once on a bounded prefix; every sweep cell then serves
+    // with frozen weights, so the cells differ only in batching and
+    // engine. Two epochs keep train_online's causal protocol happy
+    // (epoch 0 is train-only) while the sample cap bounds the cost.
+    core::VoyagerConfig vc =
+        ctx.voyager_config(bench::VoyagerVariant{});
+    core::VoyagerAdapter adapter(vc, stream);
+    core::OnlineTrainConfig tc = ctx.train_config(degree);
+    tc.epochs = 2;
+    tc.train_passes = 1;
+    tc.max_train_samples_per_epoch = train_cap;
+    tc.cumulative = true;
+    const std::size_t train_n =
+        std::min(stream.size(), 2 * std::max<std::size_t>(
+                                        train_cap, vc.seq_len * 4));
+    std::cout << "training on " << train_n << " of " << stream.size()
+              << " accesses (cap " << train_cap << ")...\n";
+    core::train_online(adapter, train_n, tc);
+
+    const auto slices =
+        tenant_slices(stream, adapter.min_index(), tenants, requests);
+    std::size_t total = 0;
+    for (const auto &s : slices)
+        total += s.size();
+    std::cout << tenants << " tenants x " << slices.front().size()
+              << " requests (degree " << degree << ")\n\n";
+
+    Table t({"engine/batch", "requests", "seconds", "req_per_sec",
+             "speedup_vs_b1"});
+    double best_batched_speedup = 0.0;
+    for (const std::string engine : {"fp32", "int8"}) {
+        if (engine == "int8")
+            adapter.enable_int8_inference();
+        else
+            adapter.disable_int8_inference();
+        double base_rps = 0.0;
+        for (const std::size_t b : batches) {
+            const double secs = serve_once(adapter, slices, b, degree,
+                                           ctx.seed());
+            const double rps =
+                secs > 0.0 ? static_cast<double>(total) / secs : 0.0;
+            if (b == batches.front())
+                base_rps = rps;
+            const double speedup =
+                base_rps > 0.0 ? rps / base_rps : 0.0;
+            if (b > 1)
+                best_batched_speedup =
+                    std::max(best_batched_speedup, speedup);
+            t.add_row(engine + " b" + std::to_string(b),
+                      {static_cast<double>(total), secs, rps, speedup},
+                      4);
+        }
+    }
+    adapter.disable_int8_inference();
+    t.print(std::cout);
+    t.export_stats(ctx.stats(), "bench_serve");
+    std::cout << "\nbest batched speedup vs max_batch="
+              << batches.front() << ": "
+              << strfmt("%.2f", best_batched_speedup) << "x\n";
+
+    // Canonical serve.* document: one fp32 run at the largest batch
+    // exports the closed namespace (queue/latency histograms and the
+    // volatile forward timer) for schema validation downstream.
+    serve_once(adapter, slices, batches.back(), degree, ctx.seed(),
+               &ctx.stats());
+    return ctx.exit_code();
+}

@@ -129,8 +129,16 @@ VoyagerModel::forward(const VoyagerBatch &batch, bool training)
         }
     }
 
-    page_lstm_.forward(xs_, h_page_);
-    offset_lstm_.forward(xs_, h_offset_);
+    // Inference skips the per-step LSTM caches (backward never runs);
+    // both entry points are bit-identical (see Lstm::forward_inference),
+    // so predictions do not depend on which one served them.
+    if (training) {
+        page_lstm_.forward(xs_, h_page_);
+        offset_lstm_.forward(xs_, h_offset_);
+    } else {
+        page_lstm_.forward_inference(xs_, h_page_);
+        offset_lstm_.forward_inference(xs_, h_offset_);
+    }
     page_dropout_.forward(h_page_);
     offset_dropout_.forward(h_offset_);
     page_head_.forward(h_page_, page_logits_);

@@ -428,9 +428,7 @@ VoyagerAdapter::predict_on(const std::vector<std::size_t> &indices,
             continue;
         fill_histories(chunk, batch);
         // Over-fetch candidates so OOV/undecodable ones can be skipped.
-        const auto preds = qmodel_
-            ? qmodel_->predict(batch, degree + 2)
-            : model_.predict(batch, degree + 2);
+        const auto preds = predict_tokens(batch, degree + 2);
         for (std::size_t b = 0; b < chunk.size(); ++b) {
             const Addr prev_line = stream_[chunk[b]].line;
             auto &slot = out[chunk_slots[b]];

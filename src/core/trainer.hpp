@@ -259,6 +259,21 @@ class VoyagerAdapter final : public SequenceModel
     /** Smallest index with enough history to form a sample. */
     std::size_t min_index() const { return cfg_.seq_len - 1; }
 
+    /**
+     * Batch-capable serving facade (DESIGN.md §5.16): top-k token
+     * candidates for an externally packed batch, routed through the
+     * active inference engine (the int8 snapshot when
+     * enable_int8_inference() is on, the fp32 model otherwise).
+     * predict_on and the serve dispatcher share this entry point, so
+     * the two paths can never diverge on engine selection.
+     */
+    std::vector<std::vector<TokenPrediction>>
+    predict_tokens(const VoyagerBatch &batch, std::size_t k)
+    {
+        return qmodel_ ? qmodel_->predict(batch, k)
+                       : model_.predict(batch, k);
+    }
+
   private:
     /** Fill histories for `indices` into a batch (no labels). */
     void fill_histories(const std::vector<std::size_t> &indices,

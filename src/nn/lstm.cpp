@@ -9,6 +9,34 @@
 
 namespace voyager::nn {
 
+namespace {
+
+/**
+ * Fused per-row gate pass shared by forward() and
+ * forward_inference() so the two stay bit-identical: bias add +
+ * activations + cell/hidden update in one sweep over a row of z.
+ * `cp == nullptr` means c_{-1} = 0 (the t = 0 step).
+ */
+inline void
+lstm_gate_row(float *zr, const float *bias, const float *cp, float *cr,
+              float *hr, std::size_t h)
+{
+    for (std::size_t j = 0; j < h; ++j) {
+        float &gi = zr[j];
+        float &gf = zr[h + j];
+        float &gg = zr[2 * h + j];
+        float &go = zr[3 * h + j];
+        gi = 1.0f / (1.0f + std::exp(-(gi + bias[j])));
+        gf = 1.0f / (1.0f + std::exp(-(gf + bias[h + j])));
+        gg = std::tanh(gg + bias[2 * h + j]);
+        go = 1.0f / (1.0f + std::exp(-(go + bias[3 * h + j])));
+        cr[j] = gi * gg + (cp ? gf * cp[j] : 0.0f);
+        hr[j] = go * std::tanh(cr[j]);
+    }
+}
+
+}  // namespace
+
 Lstm::Lstm(std::size_t in_dim, std::size_t hidden, Rng &rng)
     : wx_(in_dim, 4 * hidden), wh_(hidden, 4 * hidden), b_(1, 4 * hidden)
 {
@@ -50,30 +78,57 @@ Lstm::forward(const std::vector<Matrix> &xs, Matrix &h_last)
 
         cs_[t].resize(batch, h);
         hs_[t].resize(batch, h);
-        // Fused gate pass: bias add + activations + cell/hidden
-        // update in one sweep over z (c_{-1} = 0 at t = 0; previous
-        // states are read in place, not copied per step).
+        // Fused gate pass (c_{-1} = 0 at t = 0; previous states are
+        // read in place, not copied per step).
         ScopedOpTimer timer(op_stats().lstm_gate, batch * h);
         for (std::size_t r = 0; r < batch; ++r) {
-            float *zr = z.row(r);
-            const float *cp = t > 0 ? cs_[t - 1].row(r) : nullptr;
-            float *cr = cs_[t].row(r);
-            float *hr = hs_[t].row(r);
-            for (std::size_t j = 0; j < h; ++j) {
-                float &gi = zr[j];
-                float &gf = zr[h + j];
-                float &gg = zr[2 * h + j];
-                float &go = zr[3 * h + j];
-                gi = 1.0f / (1.0f + std::exp(-(gi + bias[j])));
-                gf = 1.0f / (1.0f + std::exp(-(gf + bias[h + j])));
-                gg = std::tanh(gg + bias[2 * h + j]);
-                go = 1.0f / (1.0f + std::exp(-(go + bias[3 * h + j])));
-                cr[j] = gi * gg + (cp ? gf * cp[j] : 0.0f);
-                hr[j] = go * std::tanh(cr[j]);
-            }
+            lstm_gate_row(z.row(r), bias,
+                          t > 0 ? cs_[t - 1].row(r) : nullptr,
+                          cs_[t].row(r), hs_[t].row(r), h);
         }
     }
     h_last = hs_[T - 1];
+}
+
+void
+Lstm::forward_inference(const std::vector<Matrix> &xs, Matrix &h_last)
+{
+    assert(!xs.empty());
+    const std::size_t batch = xs[0].rows();
+    const std::size_t h = hidden();
+    const std::size_t T = xs.size();
+
+    // Serving path: no per-step caches, so memory stays
+    // O(batch x hidden) for any sequence length. Poison the training
+    // caches — backward() asserts on them.
+    xs_ = nullptr;
+    steps_ = 0;
+
+    const float *bias = b_.value.data();
+    Matrix &z = inf_z_;
+    Matrix &h_prev = inf_h_;
+    for (std::size_t t = 0; t < T; ++t) {
+        assert(xs[t].rows() == batch && xs[t].cols() == in_dim());
+        Matrix &c_prev = inf_c_[t % 2];
+        Matrix &c_cur = inf_c_[(t + 1) % 2];
+        z.resize(batch, 4 * h);  // zero-fills: the GEMMs accumulate
+        gemm_nn(xs[t], wx_.value, z);
+        if (t > 0)  // h_{-1} = 0 contributes nothing at t = 0
+            gemm_nn(h_prev, wh_.value, z);
+
+        c_cur.resize_uninit(batch, h);
+        if (t == 0)
+            h_prev.resize_uninit(batch, h);
+        // h_prev is rewritten to h_t in place: both GEMMs for this
+        // step have already consumed it.
+        ScopedOpTimer timer(op_stats().lstm_gate, batch * h);
+        for (std::size_t r = 0; r < batch; ++r) {
+            lstm_gate_row(z.row(r), bias,
+                          t > 0 ? c_prev.row(r) : nullptr,
+                          c_cur.row(r), h_prev.row(r), h);
+        }
+    }
+    h_last = h_prev;
 }
 
 void

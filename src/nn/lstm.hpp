@@ -42,6 +42,18 @@ class Lstm
      */
     void backward(const Matrix &dh_last, std::vector<Matrix> &dxs);
 
+    /**
+     * forward() without retaining the per-step training caches: only
+     * a rotating (cell, hidden) pair survives each step, so serving
+     * keeps O(batch x hidden) state regardless of sequence length.
+     * Bit-identical to forward() — both paths issue the same GEMMs
+     * and share the fused gate-pass helper — but it invalidates the
+     * training caches: backward() must not be called until the next
+     * forward().
+     */
+    void forward_inference(const std::vector<Matrix> &xs,
+                           Matrix &h_last);
+
     Param &wx() { return wx_; }
     Param &wh() { return wh_; }
     Param &bias() { return b_; }
@@ -70,6 +82,12 @@ class Lstm
     std::vector<Matrix> gates_;  // (B, 4H) post-activation [i f g o]
     std::vector<Matrix> cs_;     // (B, H) cell states
     std::vector<Matrix> hs_;     // (B, H) hidden states
+
+    // Rotating forward_inference state: one gate buffer plus the
+    // previous step's cell/hidden rows, reused across calls.
+    Matrix inf_z_;     // (B, 4H)
+    Matrix inf_c_[2];  // (B, H) ping-pong cell state
+    Matrix inf_h_;     // (B, H) hidden, updated in place per step
 };
 
 }  // namespace voyager::nn

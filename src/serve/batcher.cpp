@@ -1,0 +1,43 @@
+#include "serve/batcher.hpp"
+
+#include <cassert>
+
+namespace voyager::serve {
+
+std::size_t
+MicroBatcher::pack(const std::vector<PrefetchRequest> &reqs,
+                   core::VoyagerBatch &batch) const
+{
+    const std::size_t T = seq_len_;
+    batch.batch = reqs.size();
+    batch.seq = T;
+    batch.labels.clear();
+    batch.pc.assign(reqs.size() * T, 0);
+    batch.page.assign(reqs.size() * T, 0);
+    batch.offset.assign(reqs.size() * T, 0);
+
+    std::size_t padded = 0;
+    for (std::size_t b = 0; b < reqs.size(); ++b) {
+        const PrefetchRequest &r = reqs[b];
+        assert(r.page.size() == r.pc.size() &&
+               r.offset.size() == r.pc.size());
+        // Keep the most recent min(window, T) tokens, right-aligned;
+        // rows shorter than T stay 0 (= OOV pc/page, offset 0) on the
+        // left. The pad value only has to be deterministic: ragged
+        // equivalence is batched-vs-batch-of-1 over the *same* packed
+        // row, not vs a model that never saw the pad.
+        const std::size_t w = std::min(r.page.size(), T);
+        const std::size_t src0 = r.page.size() - w;
+        const std::size_t dst0 = T - w;
+        for (std::size_t t = 0; t < w; ++t) {
+            batch.pc[b * T + dst0 + t] = r.pc[src0 + t];
+            batch.page[b * T + dst0 + t] = r.page[src0 + t];
+            batch.offset[b * T + dst0 + t] = r.offset[src0 + t];
+        }
+        if (w < T)
+            ++padded;
+    }
+    return padded;
+}
+
+}  // namespace voyager::serve

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The micro-batcher: coalesces pending lookahead windows into one
+ * VoyagerBatch. Every row is packed to exactly seq_len timesteps —
+ * short (ragged) windows are left-padded with OOV tokens, overlong
+ * windows keep their most recent seq_len entries — so a single
+ * Embedding→LSTM→softmax forward serves every tenant in the batch.
+ *
+ * Padding with OOV on the *left* preserves per-row equivalence with
+ * the sequential path: the packed GEMM kernels accumulate each output
+ * element over k in a fixed order independent of the number of batch
+ * rows, and every other op in the forward is row-local, so a full
+ * window produces bit-identical fp32 logits whether it shares a batch
+ * with 0 or 63 other rows (pinned by tests/batch_equivalence_test).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.hpp"
+#include "serve/request.hpp"
+
+namespace voyager::serve {
+
+/** Packs request windows into fixed-shape VoyagerBatches. */
+class MicroBatcher
+{
+  public:
+    /** @param seq_len the served model's history length. */
+    explicit MicroBatcher(std::size_t seq_len) : seq_len_(seq_len) {}
+
+    /**
+     * Pack `reqs` into `batch` (one row per request, request order).
+     * @return how many rows needed padding (window < seq_len).
+     */
+    std::size_t pack(const std::vector<PrefetchRequest> &reqs,
+                     core::VoyagerBatch &batch) const;
+
+    std::size_t seq_len() const { return seq_len_; }
+
+  private:
+    std::size_t seq_len_;
+};
+
+}  // namespace voyager::serve

@@ -1,0 +1,102 @@
+#include "serve/client.hpp"
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+
+#include "util/flat_hash.hpp"
+
+namespace voyager::serve {
+
+SimulatedClient::SimulatedClient(std::uint32_t tenant,
+                                 std::vector<sim::LlcAccess> stream,
+                                 const core::Vocabulary &vocab,
+                                 std::size_t seq_len,
+                                 std::uint32_t degree)
+    : tenant_(tenant), stream_(std::move(stream)), vocab_(vocab),
+      seq_len_(seq_len), degree_(degree)
+{
+    assert(seq_len_ > 0);
+    win_pc_.reserve(seq_len_);
+    win_page_.reserve(seq_len_);
+    win_offset_.reserve(seq_len_);
+}
+
+PrefetchRequest
+SimulatedClient::next_request()
+{
+    assert(!done());
+    const sim::LlcAccess &a = stream_[pos_];
+    // encode_stream's delta context, restarted at this tenant's slice:
+    // the previous access's line, absent on the first access.
+    const std::optional<Addr> prev =
+        pos_ > 0 ? std::optional<Addr>(stream_[pos_ - 1].line)
+                 : std::nullopt;
+    const core::Token tok = vocab_.encode(a.pc, a.line, prev);
+    if (win_pc_.size() == seq_len_) {
+        win_pc_.erase(win_pc_.begin());
+        win_page_.erase(win_page_.begin());
+        win_offset_.erase(win_offset_.begin());
+    }
+    win_pc_.push_back(tok.pc);
+    win_page_.push_back(tok.page);
+    win_offset_.push_back(tok.offset);
+
+    PrefetchRequest req;
+    req.tenant = tenant_;
+    req.seq = pos_;
+    req.pc = win_pc_;
+    req.page = win_page_;
+    req.offset = win_offset_;
+    req.prev_line = a.line;
+    req.degree = degree_;
+    ++pos_;
+    return req;
+}
+
+void
+run_interleaved(PrefetchServer &server,
+                std::vector<SimulatedClient> &clients,
+                std::uint64_t seed)
+{
+    FlatHashMap<std::uint32_t, std::size_t> by_tenant;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        const auto [it, fresh] =
+            by_tenant.emplace(clients[i].tenant(), i);
+        if (!fresh)
+            throw std::invalid_argument(
+                "run_interleaved: duplicate tenant id");
+    }
+
+    const auto route = [&](std::vector<PrefetchResponse> ready) {
+        for (PrefetchResponse &r : ready) {
+            auto it = by_tenant.find(r.tenant);
+            if (it == by_tenant.end())
+                throw std::logic_error(
+                    "run_interleaved: response for unknown tenant");
+            clients[it->second].deliver(std::move(r));
+        }
+    };
+
+    // Uniform-random arrival order over the still-live clients; the
+    // seed shapes batches and waits, never the predictions.
+    Rng rng(seed);
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < clients.size(); ++i)
+        if (!clients[i].done())
+            live.push_back(i);
+    while (!live.empty()) {
+        const std::size_t pick = rng.next_below(live.size());
+        SimulatedClient &c = clients[live[pick]];
+        server.submit(c.next_request());
+        if (c.done()) {
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        route(server.take_ready());
+    }
+    server.flush();
+    route(server.take_ready());
+}
+
+}  // namespace voyager::serve

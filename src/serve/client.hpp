@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulated serving clients: each tenant walks its own LLC access
+ * slice, encodes it incrementally under the served model's Vocabulary
+ * (the same prev-line delta context encode_stream uses, restarted per
+ * tenant), and emits one PrefetchRequest per access. run_interleaved
+ * drives N clients against a PrefetchServer in a seeded random
+ * arrival order and routes responses back by tenant id.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vocab.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "sim/prefetcher.hpp"
+#include "util/random.hpp"
+
+namespace voyager::serve {
+
+/** One tenant: an access stream slice plus its encode context. */
+class SimulatedClient
+{
+  public:
+    /**
+     * @param tenant unique id (responses are routed by it)
+     * @param stream this tenant's accesses (copied; slices are small)
+     * @param vocab the served model's vocabulary (borrowed)
+     * @param seq_len window cap, normally the model's seq_len
+     * @param degree prefetch degree requested per access
+     */
+    SimulatedClient(std::uint32_t tenant,
+                    std::vector<sim::LlcAccess> stream,
+                    const core::Vocabulary &vocab, std::size_t seq_len,
+                    std::uint32_t degree);
+
+    /** Any accesses left to request? */
+    bool
+    done() const
+    {
+        return pos_ >= stream_.size();
+    }
+
+    /**
+     * Encode the next access, slide the window, and build its
+     * request. @pre !done().
+     */
+    PrefetchRequest next_request();
+
+    /** Record a response routed to this tenant. */
+    void
+    deliver(PrefetchResponse resp)
+    {
+        responses_.push_back(std::move(resp));
+    }
+
+    std::uint32_t tenant() const { return tenant_; }
+    std::size_t issued() const { return pos_; }
+    const std::vector<sim::LlcAccess> &stream() const { return stream_; }
+    const std::vector<PrefetchResponse> &responses() const
+    {
+        return responses_;
+    }
+
+  private:
+    std::uint32_t tenant_;
+    std::vector<sim::LlcAccess> stream_;
+    const core::Vocabulary &vocab_;
+    std::size_t seq_len_;
+    std::uint32_t degree_;
+    std::size_t pos_ = 0;
+    /** Sliding token window, oldest first, at most seq_len entries. */
+    std::vector<std::int32_t> win_pc_;
+    std::vector<std::int32_t> win_page_;
+    std::vector<std::int32_t> win_offset_;
+    std::vector<PrefetchResponse> responses_;
+};
+
+/**
+ * Drive every client to exhaustion against `server` in a seeded
+ * uniform-random interleaving, flush, and route all responses back to
+ * their issuing clients. Tenant ids must be unique across `clients`.
+ * The predicted lines of every (tenant, seq) pair depend only on that
+ * tenant's own request stream — not on `seed`, which merely reshapes
+ * batches and wait times — pinned by batch_equivalence_test.
+ */
+void run_interleaved(PrefetchServer &server,
+                     std::vector<SimulatedClient> &clients,
+                     std::uint64_t seed);
+
+}  // namespace voyager::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The model boundary of the serving layer: a TokenPredictor turns one
+ * batched token window into ranked (page, offset) candidates and
+ * decodes them back to line addresses. AdapterPredictor binds a
+ * trained VoyagerAdapter (fp32 or its int8 snapshot); tests substitute
+ * stub predictors to exercise the queue/batcher/dispatch machinery in
+ * isolation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "util/types.hpp"
+
+namespace voyager::serve {
+
+/** Batched token-level prediction + decode interface. */
+class TokenPredictor
+{
+  public:
+    virtual ~TokenPredictor() = default;
+
+    /** Model history length; the batcher pads every row to this. */
+    virtual std::size_t seq_len() const = 0;
+
+    /** Top-k (page, offset) candidates per batch row. */
+    virtual std::vector<std::vector<core::TokenPrediction>>
+    predict_tokens(const core::VoyagerBatch &batch, std::size_t k) = 0;
+
+    /** Resolve a candidate against the request's prev_line; nullopt
+     *  for OOV pages or deltas that leave the page. */
+    virtual std::optional<Addr> decode(std::int32_t page_token,
+                                       std::int32_t offset_token,
+                                       Addr prev_line) const = 0;
+
+    /** Inference engine label for stats/banners ("fp32" / "int8"). */
+    virtual std::string engine() const = 0;
+};
+
+/** Serve a VoyagerAdapter through its active inference engine. */
+class AdapterPredictor final : public TokenPredictor
+{
+  public:
+    /** Borrows the adapter; keep it alive while serving. */
+    explicit AdapterPredictor(core::VoyagerAdapter &adapter)
+        : adapter_(adapter)
+    {
+    }
+
+    std::size_t
+    seq_len() const override
+    {
+        return adapter_.model().config().seq_len;
+    }
+
+    std::vector<std::vector<core::TokenPrediction>>
+    predict_tokens(const core::VoyagerBatch &batch,
+                   std::size_t k) override
+    {
+        return adapter_.predict_tokens(batch, k);
+    }
+
+    std::optional<Addr>
+    decode(std::int32_t page_token, std::int32_t offset_token,
+           Addr prev_line) const override
+    {
+        return adapter_.vocab().decode(page_token, offset_token,
+                                       prev_line);
+    }
+
+    std::string
+    engine() const override
+    {
+        return adapter_.int8_model() ? "int8" : "fp32";
+    }
+
+  private:
+    core::VoyagerAdapter &adapter_;
+};
+
+}  // namespace voyager::serve

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic FIFO request queue feeding the micro-batcher. Arrival
+ * order is the only ordering the serving layer ever uses — no
+ * reordering, no priorities — which is what makes batched serving
+ * reproducible under any client interleaving: the same submit sequence
+ * always forms the same batches.
+ */
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace voyager::serve {
+
+/** FIFO queue of pending PrefetchRequests. */
+class RequestQueue
+{
+  public:
+    /** Append a request in arrival order. */
+    void
+    push(PrefetchRequest req)
+    {
+        pending_.push_back(std::move(req));
+    }
+
+    /**
+     * Move up to `n` oldest requests into `out` (appended), preserving
+     * arrival order. @return how many were taken.
+     */
+    std::size_t
+    take_up_to(std::size_t n, std::vector<PrefetchRequest> &out)
+    {
+        std::size_t taken = 0;
+        while (taken < n && !pending_.empty()) {
+            out.push_back(std::move(pending_.front()));
+            pending_.pop_front();
+            ++taken;
+        }
+        return taken;
+    }
+
+    std::size_t depth() const { return pending_.size(); }
+    bool empty() const { return pending_.empty(); }
+
+  private:
+    std::deque<PrefetchRequest> pending_;
+};
+
+}  // namespace voyager::serve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Request/response types of the multi-tenant serving layer (DESIGN.md
+ * §5.16). A request carries one tenant's token-level lookahead window
+ * (the same history fill_histories builds from an EncodedStream) plus
+ * the decode context — the line address of the access the window ends
+ * on — so the dispatcher can resolve delta tokens exactly like
+ * VoyagerAdapter::predict_on does.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace voyager::serve {
+
+/** One tenant's prediction request: a token window + decode context. */
+struct PrefetchRequest
+{
+    /** Issuing tenant; responses are routed back by this id. */
+    std::uint32_t tenant = 0;
+    /** Tenant-local sequence number (e.g. the stream index served). */
+    std::uint64_t seq = 0;
+    /**
+     * Token history, oldest first, all three the same length. Windows
+     * shorter than the model's seq_len are left-padded with OOV
+     * tokens by the batcher; longer ones keep the most recent
+     * seq_len entries.
+     */
+    std::vector<std::int32_t> pc;
+    std::vector<std::int32_t> page;
+    std::vector<std::int32_t> offset;
+    /** Line of the newest access in the window (delta-decode base). */
+    Addr prev_line = 0;
+    /** How many distinct prefetch lines the tenant wants back. */
+    std::uint32_t degree = 1;
+    /** Virtual arrival time, stamped by the server at submit(). */
+    std::uint64_t arrival_tick = 0;
+};
+
+/** The dispatcher's answer to one PrefetchRequest. */
+struct PrefetchResponse
+{
+    std::uint32_t tenant = 0;
+    std::uint64_t seq = 0;
+    /** Up to `degree` distinct decoded prefetch line addresses. */
+    std::vector<Addr> lines;
+    /** Rows in the batched forward that served this request. */
+    std::uint32_t batch_rows = 0;
+    /** Virtual submit-to-dispatch latency (ticks = submits). */
+    std::uint64_t wait_ticks = 0;
+};
+
+}  // namespace voyager::serve

@@ -1,0 +1,133 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace voyager::serve {
+
+namespace {
+
+/** Fixed histogram geometries so golden docs never shift shape. */
+constexpr double kBatchHistHi = 65.0;
+constexpr std::size_t kBatchHistBuckets = 65;
+constexpr double kTickHistHi = 256.0;
+constexpr std::size_t kTickHistBuckets = 64;
+
+}  // namespace
+
+PrefetchServer::PrefetchServer(TokenPredictor &predictor,
+                               const ServeConfig &cfg)
+    : predictor_(predictor), cfg_(cfg), batcher_(predictor.seq_len()),
+      batch_size_hist_(0.0, kBatchHistHi, kBatchHistBuckets),
+      queue_depth_hist_(0.0, kTickHistHi, kTickHistBuckets),
+      wait_ticks_hist_(0.0, kTickHistHi, kTickHistBuckets)
+{
+    assert(cfg_.max_batch > 0);
+}
+
+void
+PrefetchServer::submit(PrefetchRequest req)
+{
+    req.arrival_tick = tick_++;
+    ++n_requests_;
+    tenants_.insert(req.tenant);
+    queue_.push(std::move(req));
+    queue_depth_hist_.add(static_cast<double>(queue_.depth()));
+    if (queue_.depth() >= cfg_.max_batch)
+        dispatch_batch();
+}
+
+void
+PrefetchServer::flush()
+{
+    ++n_flushes_;
+    while (!queue_.empty())
+        dispatch_batch();
+}
+
+std::vector<PrefetchResponse>
+PrefetchServer::take_ready()
+{
+    std::vector<PrefetchResponse> out;
+    out.swap(ready_);
+    return out;
+}
+
+void
+PrefetchServer::dispatch_batch()
+{
+    batch_reqs_.clear();
+    queue_.take_up_to(cfg_.max_batch, batch_reqs_);
+    if (batch_reqs_.empty())
+        return;
+
+    n_padded_rows_ += batcher_.pack(batch_reqs_, batch_);
+    batch_size_hist_.add(static_cast<double>(batch_reqs_.size()));
+    ++n_batches_;
+
+    // One candidate budget for the whole batch: the largest degree
+    // plus the over-fetch slack (predict_on's degree + 2 when every
+    // tenant asks the same degree).
+    std::uint32_t max_degree = 0;
+    for (const PrefetchRequest &r : batch_reqs_)
+        max_degree = std::max(max_degree, r.degree);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto preds = predictor_.predict_tokens(
+        batch_, max_degree + cfg_.over_fetch);
+    forward_seconds_ += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    for (std::size_t b = 0; b < batch_reqs_.size(); ++b) {
+        const PrefetchRequest &r = batch_reqs_[b];
+        PrefetchResponse resp;
+        resp.tenant = r.tenant;
+        resp.seq = r.seq;
+        resp.batch_rows =
+            static_cast<std::uint32_t>(batch_reqs_.size());
+        resp.wait_ticks = tick_ - r.arrival_tick;
+        wait_ticks_hist_.add(static_cast<double>(resp.wait_ticks));
+        // The predict_on decode loop: over-fetched candidates in rank
+        // order, skip undecodable, dedup, stop at the tenant's degree.
+        for (const auto &p : preds[b]) {
+            if (resp.lines.size() >= r.degree)
+                break;
+            const auto line =
+                predictor_.decode(p.page, p.offset, r.prev_line);
+            if (!line)
+                continue;
+            if (std::find(resp.lines.begin(), resp.lines.end(),
+                          *line) == resp.lines.end())
+                resp.lines.push_back(*line);
+        }
+        n_lines_ += resp.lines.size();
+        ++n_responses_;
+        ready_.push_back(std::move(resp));
+    }
+}
+
+void
+PrefetchServer::export_stats(StatRegistry &reg) const
+{
+    reg.counter("serve.requests") = n_requests_;
+    reg.counter("serve.responses") = n_responses_;
+    reg.counter("serve.batches") = n_batches_;
+    reg.counter("serve.flushes") = n_flushes_;
+    reg.counter("serve.padded_rows") = n_padded_rows_;
+    reg.counter("serve.lines") = n_lines_;
+    reg.counter("serve.tenants") = tenants_.size();
+    reg.histogram("serve.batch_size", 0.0, kBatchHistHi,
+                  kBatchHistBuckets) = batch_size_hist_;
+    reg.histogram("serve.queue_depth", 0.0, kTickHistHi,
+                  kTickHistBuckets) = queue_depth_hist_;
+    reg.histogram("serve.wait_ticks", 0.0, kTickHistHi,
+                  kTickHistBuckets) = wait_ticks_hist_;
+    reg.gauge("serve.forward.seconds", /*volatile_stat=*/true) =
+        forward_seconds_;
+    reg.counter("serve.forward.count", /*volatile_stat=*/true) =
+        n_batches_;
+}
+
+}  // namespace voyager::serve

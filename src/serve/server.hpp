@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The prefetch-as-a-service front end (DESIGN.md §5.16): clients
+ * submit per-tenant lookahead windows into a FIFO RequestQueue; once
+ * `max_batch` requests are pending (or on flush) the micro-batcher
+ * packs them into one VoyagerBatch, the predictor runs a single
+ * batched forward, and the dispatcher decodes per-row candidates back
+ * to line addresses — the exact loop VoyagerAdapter::predict_on runs
+ * per stream — routing each response to its issuing tenant.
+ *
+ * Latency is measured in virtual ticks (1 tick = 1 submit) so the
+ * `serve.*` histograms are bit-identical across reruns; wall-clock
+ * forward time is exported separately as volatile stats.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "serve/batcher.hpp"
+#include "serve/predictor.hpp"
+#include "serve/queue.hpp"
+#include "util/flat_hash.hpp"
+#include "util/stat_registry.hpp"
+#include "util/stats.hpp"
+
+namespace voyager::serve {
+
+/** Serving-layer knobs. */
+struct ServeConfig
+{
+    /** Dispatch as soon as this many requests are pending. */
+    std::size_t max_batch = 8;
+    /** Extra candidates fetched per request so OOV/duplicate decodes
+     *  can be skipped; 2 matches VoyagerAdapter::predict_on. */
+    std::uint32_t over_fetch = 2;
+};
+
+/** Queue + micro-batcher + dispatcher over one TokenPredictor. */
+class PrefetchServer
+{
+  public:
+    /** Borrows the predictor; keep it alive while serving. */
+    PrefetchServer(TokenPredictor &predictor,
+                   const ServeConfig &cfg = {});
+
+    /**
+     * Enqueue one request (its arrival_tick is stamped here; one
+     * virtual tick elapses per submit). Dispatches a full batch
+     * synchronously once `max_batch` requests are pending.
+     */
+    void submit(PrefetchRequest req);
+
+    /** Dispatch every pending request in partial batches. */
+    void flush();
+
+    /** Move out responses dispatched since the last call, in
+     *  dispatch order. */
+    std::vector<PrefetchResponse> take_ready();
+
+    const ServeConfig &config() const { return cfg_; }
+    std::size_t pending() const { return queue_.depth(); }
+    std::uint64_t ticks() const { return tick_; }
+
+    /**
+     * Export the closed `serve.*` namespace into `reg`: request/
+     * response/batch counters, padded-row and decoded-line totals,
+     * distinct-tenant count, and the batch-size / queue-depth /
+     * wait-ticks histograms (p50/p99 in the JSON emission). Assigns
+     * values, so re-export is idempotent; the wall-clock forward
+     * timer lands in volatile `serve.forward.*`.
+     */
+    void export_stats(StatRegistry &reg) const;
+
+  private:
+    /** Pack + forward + decode one batch off the queue head. */
+    void dispatch_batch();
+
+    TokenPredictor &predictor_;
+    ServeConfig cfg_;
+    MicroBatcher batcher_;
+    RequestQueue queue_;
+    std::vector<PrefetchResponse> ready_;
+    std::uint64_t tick_ = 0;
+
+    // Serving statistics (virtual-tick based, deterministic).
+    std::uint64_t n_requests_ = 0;
+    std::uint64_t n_responses_ = 0;
+    std::uint64_t n_batches_ = 0;
+    std::uint64_t n_flushes_ = 0;
+    std::uint64_t n_padded_rows_ = 0;
+    std::uint64_t n_lines_ = 0;
+    FlatHashSet<std::uint32_t> tenants_;
+    Histogram batch_size_hist_;
+    Histogram queue_depth_hist_;
+    Histogram wait_ticks_hist_;
+    // Wall-clock forward time (volatile on export).
+    double forward_seconds_ = 0.0;
+
+    // Dispatch scratch, reused across batches.
+    std::vector<PrefetchRequest> batch_reqs_;
+    core::VoyagerBatch batch_;
+};
+
+}  // namespace voyager::serve

@@ -76,9 +76,20 @@ Histogram::quantile(double q) const
     if (cum >= target)
         return lo_;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (cum + counts_[i] >= target) {
+            // Interpolate by the target's rank *within* the bucket
+            // (sample r of n sits at fraction (r - 0.5) / n), instead
+            // of returning the midpoint unconditionally. On
+            // near-empty histograms the midpoint made p99 collapse
+            // onto p50 — one bucket holds almost every sample, and
+            // every quantile through it answered the same value.
+            // A single-sample bucket still answers its midpoint.
+            const auto r = static_cast<double>(target - cum);
+            const auto n = static_cast<double>(counts_[i]);
+            return lo_ +
+                   width_ * (static_cast<double>(i) + (r - 0.5) / n);
+        }
         cum += counts_[i];
-        if (cum >= target)
-            return lo_ + width_ * (static_cast<double>(i) + 0.5);
     }
     return hi_;
 }

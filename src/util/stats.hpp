@@ -54,10 +54,15 @@ class Histogram
     double lo() const { return lo_; }
     double hi() const { return hi_; }
     /**
-     * Value at cumulative quantile q (clamped to [0,1]): the bucket
-     * midpoint holding the ceil(q*total)-th sample (at least the
-     * first), `lo` if that sample underflowed, `hi` if it overflowed.
-     * An empty histogram returns `lo`.
+     * Value at cumulative quantile q (clamped to [0,1]): locate the
+     * ceil(q*total)-th sample (at least the first) and interpolate by
+     * its rank within its bucket — sample r of n sits at fraction
+     * (r - 0.5) / n of the bucket width, so a single-sample bucket
+     * answers its midpoint but p50 and p99 through one shared bucket
+     * no longer collapse onto the same value (the near-empty-
+     * histogram case queue-depth stats hit at low tenant counts).
+     * Returns `lo` if the sample underflowed (or the histogram is
+     * empty), `hi` if it overflowed.
      */
     double quantile(double q) const;
 

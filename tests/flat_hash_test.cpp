@@ -318,6 +318,116 @@ TEST(FlatHashSet, BasicMembershipAndIteration)
     EXPECT_GT(s.storage_bytes(), 0u);
 }
 
+TEST(FlatHashMap, StaleHashSurvivesRehashesAndErases)
+{
+    // The hash prefetch() returns is size-independent (it is masked
+    // by the *current* bucket count inside locate_hashed), so a hash
+    // taken when the table was tiny must still answer correctly after
+    // many doublings — including the negative paths: keys erased
+    // after the hash was taken, and keys never inserted at all.
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    std::vector<std::uint64_t> keys, hashes;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t k = i * 2654435761u + 1;
+        m[k] = i;
+        keys.push_back(k);
+        hashes.push_back(m.prefetch(k));
+    }
+    const auto cap_before = m.capacity();
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        m[0x8000000000000000ull + i * 7919] = i;  // force rehashes
+    ASSERT_GT(m.capacity(), cap_before);
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto it = m.find_hashed(keys[i], hashes[i]);
+        ASSERT_NE(it, m.end()) << i;
+        EXPECT_EQ(it->second, i);
+    }
+    // Erase every other seed key: the same stale hashes must now
+    // miss for the erased ones and still hit for the survivors.
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        EXPECT_EQ(m.erase(keys[i]), 1u);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const bool live = (i % 2) == 1;
+        EXPECT_EQ(m.find_hashed(keys[i], hashes[i]) != m.end(), live)
+            << i;
+        EXPECT_EQ(m.contains_hashed(keys[i], hashes[i]), live) << i;
+    }
+    // Absent keys (never inserted) with pre-rehash hashes miss too.
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t absent = i * 2654435761u + 2;
+        EXPECT_EQ(m.find_hashed(absent, m.prefetch_tag(absent)),
+                  m.end());
+    }
+}
+
+TEST(FlatHashMap, EraseHeavyTombstoneDecayStress)
+{
+    // Erase-dominated workload differential against a reference map:
+    // grow to a peak, shrink to a small live set, then churn at that
+    // size for thousands of operations. Rehashes drop tombstones, so
+    // the slot array must stay bounded by the peak footprint instead
+    // of ratcheting with every erase/insert pair — and every live key
+    // must stay reachable through the tombstone-riddled probes.
+    Rng rng(4242);
+    FlatHashMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        flat[i] = i;
+        ref[i] = i;
+    }
+    const auto peak_bytes = flat.storage_bytes();
+    // Shrink: erase 15/16 of the live set.
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        if (i % 16 != 0) {
+            EXPECT_EQ(flat.erase(i), 1u);
+            ref.erase(i);
+        }
+    }
+    // Churn at small size, 70% erases over a widening key universe.
+    for (int op = 0; op < 30000; ++op) {
+        const std::uint64_t key = rng.next_below(8192);
+        if (rng.next_below(10) < 7) {
+            EXPECT_EQ(flat.erase(key), ref.erase(key));
+        } else {
+            flat[key] = static_cast<std::uint64_t>(op);
+            ref[key] = static_cast<std::uint64_t>(op);
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Bounded footprint: tombstone decay keeps the churned table
+    // within one doubling of its peak-live footprint.
+    EXPECT_LE(flat.storage_bytes(), peak_bytes * 2);
+    for (const auto &[key, value] : ref) {
+        auto it = flat.find(key);
+        ASSERT_NE(it, flat.end()) << key;
+        EXPECT_EQ(it->second, value);
+    }
+    std::size_t visited = 0;
+    for (const auto &[key, value] : flat) {
+        auto rit = ref.find(key);
+        ASSERT_NE(rit, ref.end()) << key;
+        EXPECT_EQ(value, rit->second);
+        ++visited;
+    }
+    EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashSet, StaleHashNegativePathsAfterRehash)
+{
+    FlatHashSet<Addr> s;
+    s.insert(0x40);
+    const std::uint64_t h_live = s.prefetch(0x40);
+    const std::uint64_t h_gone = s.prefetch(0x80);
+    s.insert(0x80);
+    for (Addr a = 1000; a < 9000; ++a)
+        s.insert(a * 64);  // rehash several times
+    s.erase(0x80);
+    EXPECT_TRUE(s.contains_hashed(0x40, h_live));
+    EXPECT_FALSE(s.contains_hashed(0x80, h_gone));  // erased
+    EXPECT_FALSE(s.contains_hashed(0xc0, s.prefetch_tag(0xc0)));
+}
+
 TEST(FlatHashSet, LargeRandomMembership)
 {
     Rng rng(99);

@@ -13,6 +13,7 @@
 #include "core/trainer.hpp"
 #include "nn/ops.hpp"
 #include "prefetch/stms.hpp"
+#include "serve_fixture.hpp"
 #include "sim/simulator.hpp"
 #include "trace/gen/workloads.hpp"
 #include "util/random.hpp"
@@ -105,6 +106,21 @@ TEST(GoldenDeterminism, TwoRunsEmitByteIdenticalDocuments)
     EXPECT_NE(first.find("sim.bfs.stms.instructions"),
               std::string::npos);
     EXPECT_NE(first.find("nn.gemm.flops"), std::string::npos);
+    EXPECT_EQ(first, second);
+}
+
+TEST(GoldenDeterminism, ServeTinyEmitsByteIdenticalDocuments)
+{
+    // The serving layer's latency/queue-depth histograms are virtual-
+    // tick based, so two interleaved multi-tenant runs must emit the
+    // same bytes — the property tests/golden/serve_tiny.json pins
+    // across checkouts (DESIGN.md §5.16).
+    const std::string first = serve_test::run_serve_tiny();
+    const std::string second = serve_test::run_serve_tiny();
+    ASSERT_FALSE(first.empty());
+    EXPECT_NE(first.find("serve.batch_size"), std::string::npos);
+    EXPECT_NE(first.find("serve.queue_depth"), std::string::npos);
+    EXPECT_NE(first.find("serve.wait_ticks"), std::string::npos);
     EXPECT_EQ(first, second);
 }
 

@@ -23,6 +23,7 @@
 #include "nn/qmatrix.hpp"
 #include "nn/qops.hpp"
 #include "prefetch/registry.hpp"
+#include "serve_fixture.hpp"
 #include "sim/simulator.hpp"
 #include "trace/gen/workloads.hpp"
 #include "util/fault_injection.hpp"
@@ -146,12 +147,16 @@ run_fig5_tiny()
     return reg.json(opts);
 }
 
-TEST(GoldenStats, Fig5TinyMatchesCheckedInDocument)
+/**
+ * Field-compare `current` against the checked-in document at `path`
+ * (counters exact, everything else within a small FP tolerance), or
+ * regenerate it when VOYAGER_UPDATE_GOLDEN is set. Shared by the
+ * fig5_tiny and serve_tiny pins.
+ */
+void
+compare_against_golden(const std::string &path,
+                       const std::string &current)
 {
-    const std::string path =
-        std::string(VOYAGER_GOLDEN_DIR) + "/fig5_tiny.json";
-    const std::string current = run_fig5_tiny();
-
     if (std::getenv("VOYAGER_UPDATE_GOLDEN") != nullptr) {
         std::ofstream os(path);
         ASSERT_TRUE(os) << "cannot write " << path;
@@ -210,6 +215,23 @@ TEST(GoldenStats, Fig5TinyMatchesCheckedInDocument)
         << diff.str()
         << "(intentional change? regenerate with "
            "VOYAGER_UPDATE_GOLDEN=1)";
+}
+
+TEST(GoldenStats, Fig5TinyMatchesCheckedInDocument)
+{
+    compare_against_golden(
+        std::string(VOYAGER_GOLDEN_DIR) + "/fig5_tiny.json",
+        run_fig5_tiny());
+}
+
+TEST(GoldenStats, ServeTinyMatchesCheckedInDocument)
+{
+    // Every serve.* stat in this scenario is integer-derived (virtual
+    // ticks + stub decodes, see serve_fixture.hpp), so even the
+    // histogram quantiles compare exactly across build flavours.
+    compare_against_golden(
+        std::string(VOYAGER_GOLDEN_DIR) + "/serve_tiny.json",
+        serve_test::run_serve_tiny());
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Serving-layer unit + property tests (DESIGN.md §5.16): FIFO queue
+ * semantics, micro-batcher padding/truncation, dispatcher batching
+ * and tick accounting, SimulatedClient window construction against
+ * encode_stream, the closed `serve.*` stats export — and the fuzz
+ * suite: under random tenant counts, ragged window lengths, arrival
+ * orders and batch sizes, no request is ever dropped, duplicated or
+ * cross-delivered (every response's lines are recomputable from the
+ * issuing request alone, see StubPredictor).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/client.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve_fixture.hpp"
+#include "util/random.hpp"
+#include "util/stat_registry.hpp"
+
+namespace voyager {
+namespace {
+
+using serve::MicroBatcher;
+using serve::PrefetchRequest;
+using serve::PrefetchResponse;
+using serve::PrefetchServer;
+using serve::RequestQueue;
+using serve::ServeConfig;
+using serve::SimulatedClient;
+using serve_test::StubPredictor;
+
+PrefetchRequest
+make_request(std::uint32_t tenant, std::uint64_t seq,
+             std::size_t window, std::int32_t last_page,
+             Addr prev_line, std::uint32_t degree = 1)
+{
+    PrefetchRequest r;
+    r.tenant = tenant;
+    r.seq = seq;
+    r.pc.assign(window, 3);
+    r.page.assign(window, 9);
+    r.offset.assign(window, 5);
+    if (window > 0)
+        r.page.back() = last_page;
+    r.prev_line = prev_line;
+    r.degree = degree;
+    return r;
+}
+
+TEST(ServeQueue, FifoAcrossPushesAndPartialTakes)
+{
+    RequestQueue q;
+    EXPECT_TRUE(q.empty());
+    for (std::uint64_t i = 0; i < 5; ++i)
+        q.push(make_request(0, i, 1, 0, 0));
+    EXPECT_EQ(q.depth(), 5u);
+
+    std::vector<PrefetchRequest> out;
+    EXPECT_EQ(q.take_up_to(2, out), 2u);
+    q.push(make_request(0, 5, 1, 0, 0));
+    EXPECT_EQ(q.take_up_to(10, out), 4u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.take_up_to(1, out), 0u);
+
+    ASSERT_EQ(out.size(), 6u);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(out[i].seq, i) << "arrival order broken at " << i;
+}
+
+TEST(MicroBatcherTest, FullWindowsPackUnchanged)
+{
+    MicroBatcher b(4);
+    std::vector<PrefetchRequest> reqs;
+    for (std::int32_t i = 0; i < 3; ++i)
+        reqs.push_back(make_request(0, 0, 4, 100 + i, 0));
+    core::VoyagerBatch batch;
+    batch.labels.resize(2);  // stale labels must be cleared
+    EXPECT_EQ(b.pack(reqs, batch), 0u);
+    EXPECT_EQ(batch.batch, 3u);
+    EXPECT_EQ(batch.seq, 4u);
+    EXPECT_TRUE(batch.labels.empty());
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t t = 0; t < 4; ++t) {
+            EXPECT_EQ(batch.pc[r * 4 + t], 3);
+            EXPECT_EQ(batch.offset[r * 4 + t], 5);
+        }
+        EXPECT_EQ(batch.page[r * 4 + 3],
+                  100 + static_cast<std::int32_t>(r));
+    }
+}
+
+TEST(MicroBatcherTest, ShortWindowsLeftPadWithOov)
+{
+    MicroBatcher b(4);
+    const std::vector<PrefetchRequest> reqs = {
+        make_request(0, 0, 1, 42, 0),
+        make_request(1, 0, 3, 43, 0),
+    };
+    core::VoyagerBatch batch;
+    EXPECT_EQ(b.pack(reqs, batch), 2u);
+    // Row 0: [pad pad pad 42-window], row 1: [pad 3-token window].
+    for (std::size_t t = 0; t < 3; ++t) {
+        EXPECT_EQ(batch.page[t], 0);
+        EXPECT_EQ(batch.pc[t], 0);
+        EXPECT_EQ(batch.offset[t], 0);
+    }
+    EXPECT_EQ(batch.page[3], 42);
+    EXPECT_EQ(batch.page[4 + 0], 0);
+    EXPECT_EQ(batch.page[4 + 1], 9);
+    EXPECT_EQ(batch.page[4 + 2], 9);
+    EXPECT_EQ(batch.page[4 + 3], 43);
+}
+
+TEST(MicroBatcherTest, OverlongWindowsKeepMostRecentTokens)
+{
+    MicroBatcher b(2);
+    PrefetchRequest r = make_request(0, 0, 5, 77, 0);
+    r.page[3] = 76;  // the two newest tokens are [76, 77]
+    core::VoyagerBatch batch;
+    EXPECT_EQ(b.pack({r}, batch), 0u);
+    EXPECT_EQ(batch.seq, 2u);
+    EXPECT_EQ(batch.page[0], 76);
+    EXPECT_EQ(batch.page[1], 77);
+}
+
+TEST(PrefetchServerTest, DispatchesWhenBatchFillsAndOnFlush)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 3;
+    PrefetchServer server(pred, sc);
+
+    for (std::uint64_t i = 0; i < 2; ++i)
+        server.submit(make_request(7, i, 4, 50, 0x100 + i));
+    EXPECT_EQ(server.pending(), 2u);
+    EXPECT_TRUE(server.take_ready().empty());
+
+    server.submit(make_request(7, 2, 4, 50, 0x102));
+    EXPECT_EQ(server.pending(), 0u);
+    auto ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(ready[i].tenant, 7u);
+        EXPECT_EQ(ready[i].seq, i);
+        EXPECT_EQ(ready[i].batch_rows, 3u);
+        // Submit i arrives at tick i; the batch dispatches after the
+        // third submit (tick 3), so waits are 3, 2, 1.
+        EXPECT_EQ(ready[i].wait_ticks, 3 - i);
+        ASSERT_EQ(ready[i].lines.size(), 1u);
+        EXPECT_EQ(ready[i].lines[0],
+                  StubPredictor::expected_line(50, 0, 0x100 + i));
+    }
+
+    // A partial batch only moves on flush.
+    server.submit(make_request(7, 3, 4, 50, 0x103));
+    EXPECT_TRUE(server.take_ready().empty());
+    server.flush();
+    ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].batch_rows, 1u);
+    EXPECT_EQ(ready[0].seq, 3u);
+}
+
+TEST(PrefetchServerTest, DegreeAndDedupMatchThePredictOnLoop)
+{
+    StubPredictor pred(2);
+    ServeConfig sc;
+    sc.max_batch = 1;
+    PrefetchServer server(pred, sc);
+    // degree=3 with over_fetch=2 fetches 5 candidates; the stub's
+    // lines are distinct per rank, so exactly 3 come back.
+    server.submit(make_request(1, 0, 2, 8, 0xABC, /*degree=*/3));
+    auto ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 1u);
+    ASSERT_EQ(ready[0].lines.size(), 3u);
+    for (std::int32_t j = 0; j < 3; ++j)
+        EXPECT_EQ(ready[0].lines[j],
+                  StubPredictor::expected_line(8, j, 0xABC));
+}
+
+TEST(PrefetchServerTest, ExportsClosedServeNamespace)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 2;
+    PrefetchServer server(pred, sc);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        server.submit(
+            make_request(static_cast<std::uint32_t>(i % 2), i,
+                         /*window=*/i % 2 ? 4 : 2, 30, 0x40 + i));
+    server.flush();
+    server.take_ready();
+
+    StatRegistry reg;
+    server.export_stats(reg);
+    EXPECT_EQ(reg.counter("serve.requests"), 5u);
+    EXPECT_EQ(reg.counter("serve.responses"), 5u);
+    EXPECT_EQ(reg.counter("serve.batches"), 3u);
+    EXPECT_EQ(reg.counter("serve.flushes"), 1u);
+    EXPECT_EQ(reg.counter("serve.padded_rows"), 3u);
+    EXPECT_EQ(reg.counter("serve.lines"), 5u);
+    EXPECT_EQ(reg.counter("serve.tenants"), 2u);
+    EXPECT_EQ(reg.histogram("serve.batch_size", 0, 65, 65).total(),
+              3u);
+    EXPECT_EQ(reg.histogram("serve.queue_depth", 0, 256, 64).total(),
+              5u);
+    EXPECT_EQ(reg.histogram("serve.wait_ticks", 0, 256, 64).total(),
+              5u);
+    // Re-export is idempotent (assign semantics).
+    server.export_stats(reg);
+    EXPECT_EQ(reg.counter("serve.requests"), 5u);
+    EXPECT_EQ(reg.histogram("serve.wait_ticks", 0, 256, 64).total(),
+              5u);
+}
+
+TEST(SimulatedClientTest, WindowsMirrorEncodeStream)
+{
+    const auto stream = serve_test::serve_cyclic_stream(40, 8, 3);
+    const auto vocab = core::Vocabulary::build(stream);
+    const auto encoded = core::encode_stream(stream, vocab);
+    constexpr std::size_t kSeqLen = 4;
+
+    SimulatedClient client(0, stream, vocab, kSeqLen, 2);
+    std::size_t i = 0;
+    while (!client.done()) {
+        const PrefetchRequest r = client.next_request();
+        EXPECT_EQ(r.seq, i);
+        EXPECT_EQ(r.prev_line, stream[i].line);
+        const std::size_t w = std::min(i + 1, kSeqLen);
+        ASSERT_EQ(r.page.size(), w);
+        for (std::size_t t = 0; t < w; ++t) {
+            const std::size_t s = i + 1 - w + t;
+            EXPECT_EQ(r.pc[t], encoded.pc[s]);
+            EXPECT_EQ(r.page[t], encoded.page[s]);
+            EXPECT_EQ(r.offset[t], encoded.offset[s]);
+        }
+        ++i;
+    }
+    EXPECT_EQ(i, stream.size());
+}
+
+/**
+ * The fuzz property: for any tenant population, per-tenant request
+ * counts, window lengths, degrees, batch size and arrival
+ * interleaving, every tenant receives exactly one response per issued
+ * request, in issue order, whose lines are the ones its own request
+ * implies. That simultaneously rules out drops (counts), duplicates
+ * (counts + order) and cross-delivery (lines encode the issuing
+ * request's newest page token and prev_line).
+ */
+TEST(ServeFuzz, NeverDropsDuplicatesOrCrossDelivers)
+{
+    constexpr std::size_t kIters = 150;
+    for (std::size_t iter = 0; iter < kIters; ++iter) {
+        Rng rng(0xF00D + iter);
+        const std::size_t seq_len = 1 + rng.next_below(6);
+        const std::size_t n_tenants = 1 + rng.next_below(6);
+        StubPredictor pred(seq_len);
+        ServeConfig sc;
+        sc.max_batch = 1 + rng.next_below(9);
+        PrefetchServer server(pred, sc);
+
+        // Pre-plan each tenant's request sequence.
+        std::vector<std::vector<PrefetchRequest>> plans(n_tenants);
+        for (std::uint32_t t = 0; t < n_tenants; ++t) {
+            const std::size_t n = rng.next_below(21);
+            for (std::uint64_t s = 0; s < n; ++s) {
+                const std::size_t window =
+                    1 + rng.next_below(2 * seq_len);
+                const auto last_page = static_cast<std::int32_t>(
+                    (t << 12) | (s & 0xFFF));
+                const Addr prev = t * 7919 + s * 31 + 1;
+                plans[t].push_back(make_request(
+                    t, s, window, last_page, prev,
+                    1 + static_cast<std::uint32_t>(
+                            rng.next_below(3))));
+            }
+        }
+
+        // Random arrival interleaving, routing after every submit.
+        std::vector<std::vector<PrefetchResponse>> got(n_tenants);
+        const auto route = [&](std::vector<PrefetchResponse> rs) {
+            for (auto &r : rs) {
+                ASSERT_LT(r.tenant, n_tenants);
+                got[r.tenant].push_back(std::move(r));
+            }
+        };
+        std::vector<std::size_t> next(n_tenants, 0);
+        std::vector<std::uint32_t> live;
+        for (std::uint32_t t = 0; t < n_tenants; ++t)
+            if (!plans[t].empty())
+                live.push_back(t);
+        while (!live.empty()) {
+            const std::size_t pick = rng.next_below(live.size());
+            const std::uint32_t t = live[pick];
+            server.submit(plans[t][next[t]++]);
+            if (next[t] == plans[t].size()) {
+                live[pick] = live.back();
+                live.pop_back();
+            }
+            route(server.take_ready());
+        }
+        server.flush();
+        route(server.take_ready());
+
+        for (std::uint32_t t = 0; t < n_tenants; ++t) {
+            ASSERT_EQ(got[t].size(), plans[t].size())
+                << "iter " << iter << " tenant " << t
+                << ": dropped or duplicated responses";
+            for (std::size_t s = 0; s < got[t].size(); ++s) {
+                const PrefetchResponse &r = got[t][s];
+                const PrefetchRequest &q = plans[t][s];
+                ASSERT_EQ(r.seq, q.seq)
+                    << "iter " << iter << ": out-of-order delivery";
+                ASSERT_EQ(r.lines.size(), q.degree)
+                    << "iter " << iter;
+                for (std::size_t j = 0; j < r.lines.size(); ++j)
+                    ASSERT_EQ(r.lines[j],
+                              StubPredictor::expected_line(
+                                  q.page.back(),
+                                  static_cast<std::int32_t>(j),
+                                  q.prev_line))
+                        << "iter " << iter
+                        << ": cross-delivered prediction";
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace voyager

@@ -249,5 +249,48 @@ TEST(HistogramQuantile, AllOverflowReturnsHi)
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
 }
 
+// --- Near-empty-histogram interpolation regressions (serving-layer
+// satellite): with fewer than 10 samples one bucket holds almost
+// everything, and the midpoint rule answered the identical value for
+// every quantile routed through it — p99 collapsed onto p50 in the
+// queue-depth histograms at low tenant counts. The fix interpolates
+// by rank within the bucket: sample r of n sits at (r - 0.5) / n. ---
+
+TEST(HistogramQuantile, P99DoesNotCollapseOntoP50InOneBucket)
+{
+    Histogram h(0.0, 64.0, 64);
+    for (int i = 0; i < 5; ++i)
+        h.add(3.0);  // all five samples share bucket [3, 4)
+    // Ranks 3 and 5 of 5 sit at fractions 0.5 and 0.9 of the bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.9);
+    EXPECT_LT(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(HistogramQuantile, TwoSamplesGiveDistinctTailQuantiles)
+{
+    Histogram h(0.0, 256.0, 64);  // the serve.queue_depth geometry
+    h.add(1.0);
+    h.add(1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // rank 1 of 2 -> 0.25
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.0);  // rank 2 of 2 -> 0.75
+}
+
+TEST(HistogramQuantile, FewSamplesInterpolateMonotonically)
+{
+    Histogram h(0.0, 256.0, 64);
+    for (const double v : {1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 8.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5),
+                     4.0 * (3.5 / 6.0));       // rank 4 of 6 in [0,4)
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);  // lone sample in [8,12)
+    double prev = h.quantile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = h.quantile(q);
+        EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+        prev = cur;
+    }
+}
+
 }  // namespace
 }  // namespace voyager

@@ -72,6 +72,26 @@ HEALTH_STATS = {
     "health.degraded_runs": "counter",
 }
 
+# The serving layer's closed stat namespace (DESIGN.md section 5.16,
+# emitted by serve::PrefetchServer::export_stats). Latency/queue
+# histograms are virtual-tick based and deterministic; the wall-clock
+# forward timer is volatile, so it appears in bench documents but
+# never in the checked-in goldens.
+SERVE_STATS = {
+    "serve.requests": "counter",
+    "serve.responses": "counter",
+    "serve.batches": "counter",
+    "serve.flushes": "counter",
+    "serve.padded_rows": "counter",
+    "serve.lines": "counter",
+    "serve.tenants": "counter",
+    "serve.batch_size": "histogram",
+    "serve.queue_depth": "histogram",
+    "serve.wait_ticks": "histogram",
+    "serve.forward.seconds": "gauge",
+    "serve.forward.count": "counter",
+}
+
 # The fault-injection subsystem's closed stat namespace (emitted by
 # voyager::export_fault_stats).
 FAULT_STATS = {
@@ -261,6 +281,14 @@ def check_document(doc, errors):
             if expected is None:
                 errors.append(f"{name}: unknown fault stat "
                               f"(expected one of {sorted(FAULT_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
+        if name.startswith("serve."):
+            expected = SERVE_STATS.get(name)
+            if expected is None:
+                errors.append(f"{name}: unknown serve stat "
+                              f"(expected one of {sorted(SERVE_STATS)})")
             elif isinstance(body, dict) and body.get("kind") != expected:
                 errors.append(f"{name}: must be a {expected}, got "
                               f"{body.get('kind')!r}")

@@ -20,6 +20,9 @@ ctest --preset checkpoint --output-on-failure
 echo "== release: ctest -L fault =="
 ctest --preset fault --output-on-failure
 
+echo "== release: ctest -L serve =="
+ctest --preset serve --output-on-failure
+
 echo "== asan-ubsan: configure + build =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j1
@@ -32,6 +35,9 @@ ctest --preset asan-checkpoint --output-on-failure
 
 echo "== asan-ubsan: ctest -L fault =="
 ctest --preset asan-fault --output-on-failure
+
+echo "== asan-ubsan: ctest -L serve =="
+ctest --preset asan-serve --output-on-failure
 
 echo "== stats schema validation =="
 out=$(mktemp /tmp/voyager_stats.XXXXXX.json)
@@ -61,5 +67,22 @@ python3 tools/check_stats_schema.py "$hash_out"
 rm -f "$hash_out"
 ./build-asan/bench/bench_micro_hash --n_vocab=2048 --n_isb=2048 \
     --reps=1 >/dev/null
+
+# Serving-layer smoke (DESIGN.md section 5.16): a tiny tenant sweep
+# must run end to end and emit a schema-valid document including the
+# closed serve.* namespace; the ASan run drives the batcher/server
+# hot path under instrumentation. Tiny caps keep both under a minute;
+# the throughput claims live in the full bench_serve run.
+echo "== bench_serve smoke (release + asan) =="
+serve_out=$(mktemp /tmp/voyager_serve.XXXXXX.json)
+./build/bench/bench_serve --scale=tiny --tenants=2 --requests=40 \
+    --serve_batches=1,4 --serve_train_samples=200 \
+    --stats_json="$serve_out" >/dev/null
+python3 tools/check_stats_schema.py "$serve_out"
+grep -q '"serve.batch_size"' "$serve_out"
+rm -f "$serve_out"
+./build-asan/bench/bench_serve --scale=tiny --tenants=2 \
+    --requests=20 --serve_batches=4 --serve_train_samples=100 \
+    >/dev/null
 
 echo "all gates passed"
