@@ -8,6 +8,7 @@
 #include "prefetch/isb.hpp"
 #include "prefetch/sms.hpp"
 #include "prefetch/stms.hpp"
+#include "prefetch/stream_group.hpp"
 #include "prefetch/stride.hpp"
 
 namespace voyager::prefetch {
@@ -37,6 +38,11 @@ make_prefetcher(const std::string &name, std::uint32_t degree)
         cfg.degree = degree;
         return std::make_unique<Sms>(cfg);
     }
+    if (name == "stream_group") {
+        StreamGroupConfig cfg;
+        cfg.max_degree = degree;
+        return std::make_unique<StreamGroup>(cfg);
+    }
     if (name == "isb+bo")
         return make_isb_bo_hybrid(degree);
     throw std::invalid_argument("unknown prefetcher: " + name);
@@ -47,7 +53,7 @@ rule_based_names()
 {
     static const std::vector<std::string> names = {
         "stms", "isb", "domino", "bo", "sms", "ip_stride", "next_line",
-        "isb+bo",
+        "stream_group", "isb+bo",
     };
     return names;
 }

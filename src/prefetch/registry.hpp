@@ -19,7 +19,7 @@ namespace voyager::prefetch {
 /**
  * Create a rule-based prefetcher.
  * @param name one of: none, stms, isb, domino, bo, ip_stride,
- *             next_line, isb+bo
+ *             next_line, sms, stream_group, isb+bo
  * @throws std::invalid_argument for unknown names.
  */
 std::unique_ptr<sim::Prefetcher>

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "trace/trace.hpp"
 
@@ -37,7 +38,37 @@ data_base(std::uint32_t id)
     return (static_cast<Addr>(id) + 1) << 30;
 }
 
+/**
+ * Declared bounds of the synthetic address spaces. Every generator
+ * emits PCs from pc_of() with block < 4096 and data addresses inside
+ * a structure's 1 GiB slot with id < kMaxDataStructures; the workload
+ * property suite (tests/workloads_test.cpp) asserts every recorded
+ * access against these bounds, so new generators inherit the check.
+ */
+inline constexpr Addr kCodeLimit = kCodeBase + (1ull << 20);
+inline constexpr std::uint32_t kMaxDataStructures = 256;
+inline constexpr Addr kDataLimit = data_base(kMaxDataStructures);
+
 }  // namespace layout
+
+/**
+ * Validate a generator's requested trace length. A zero-length
+ * request is a caller bug (an empty trace would propagate silently
+ * into the simulator and score 0 on everything), so it throws instead
+ * of emitting nothing.
+ *
+ * @returns max_accesses, so generators can initialize their budget
+ *          from the checked value in one expression.
+ * @throws std::invalid_argument when max_accesses == 0.
+ */
+inline std::uint64_t
+checked_budget(std::uint64_t max_accesses)
+{
+    if (max_accesses == 0)
+        throw std::invalid_argument(
+            "trace generator: max_accesses must be > 0");
+    return max_accesses;
+}
 
 /** Appends accesses to a Trace while tracking instruction ids. */
 class TraceRecorder

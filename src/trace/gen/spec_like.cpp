@@ -25,7 +25,7 @@ make_mcf_trace(const SpecParams &p)
 {
     Rng rng(p.seed);
     Trace t("mcf");
-    t.reserve(p.max_accesses);
+    t.reserve(checked_budget(p.max_accesses));
     TraceRecorder rec(t);
 
     // Network simplex: scan arcs with a small stride; each arc names a
@@ -86,7 +86,7 @@ make_omnetpp_trace(const SpecParams &p)
 {
     Rng rng(p.seed);
     Trace t("omnetpp");
-    t.reserve(p.max_accesses);
+    t.reserve(checked_budget(p.max_accesses));
     TraceRecorder rec(t);
 
     // Discrete-event simulation: a binary heap of events plus recycled
@@ -162,7 +162,7 @@ make_soplex_trace(const SpecParams &p)
 {
     Rng rng(p.seed);
     Trace t("soplex");
-    t.reserve(p.max_accesses);
+    t.reserve(checked_budget(p.max_accesses));
     TraceRecorder rec(t);
 
     // Simplex pricing: walk sparse columns (index + value arrays), then
@@ -241,7 +241,7 @@ make_astar_trace(const SpecParams &p)
 {
     Rng rng(p.seed);
     Trace t("astar");
-    t.reserve(p.max_accesses);
+    t.reserve(checked_budget(p.max_accesses));
     TraceRecorder rec(t);
 
     // Grid pathfinding: expand nodes from an open-list heap, touching
@@ -300,7 +300,7 @@ make_sphinx_trace(const SpecParams &p)
 {
     Rng rng(p.seed);
     Trace t("sphinx");
-    t.reserve(p.max_accesses);
+    t.reserve(checked_budget(p.max_accesses));
     TraceRecorder rec(t);
 
     // Speech decoding: per audio frame, score the active HMM states.
@@ -350,7 +350,7 @@ make_xalancbmk_trace(const SpecParams &p)
 {
     Rng rng(p.seed);
     Trace t("xalancbmk");
-    t.reserve(p.max_accesses);
+    t.reserve(checked_budget(p.max_accesses));
     TraceRecorder rec(t);
 
     // XSLT transform: depth-first DOM traversal over first-child /

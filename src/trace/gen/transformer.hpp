@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Transformer-inference workload generators (DESIGN.md §5.17).
+ *
+ * The paper evaluated Voyager on SPEC/GAP/OLTP traces; the workload
+ * class that now dominates datacenters — and that runs Voyager itself
+ * — is transformer inference, whose address stream is a family of
+ * nested repeating strides:
+ *
+ *     base + layer + head + token + head_dim
+ *
+ * (Hashemi et al. 2018; the ChampSim-DPC4 transformer_stream design).
+ * Three generators emit the canonical phases of that family:
+ *
+ *  - prefill: whole-prompt processing. Per layer: weight-matrix
+ *    streaming, dense activation walks over every prompt token, and
+ *    sliding-window attention score/context loops. The full layer
+ *    stack repeats until the budget is filled (phase repetition).
+ *  - decode: autoregressive generation with a growing KV cache. Each
+ *    step appends one token's K/V lines and re-walks every cached
+ *    token per head, so the attention streams lengthen step by step
+ *    while the weight streams repeat exactly.
+ *  - a mixed/batched mode: several decode requests at different
+ *    context lengths interleaved phase-by-phase, the multi-tenant
+ *    serving shape (concurrent similar streams at the same PCs).
+ *
+ * Multi-head attention is emitted head-interleaved (token outer, head
+ * inner), so each head forms its own strided stream and the streams
+ * arrive interleaved — the multi-stream concurrency case the
+ * StreamGroup baseline (src/prefetch/stream_group.hpp) targets.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace voyager::trace::gen {
+
+/** Knobs for the transformer-inference generators. */
+struct TransformerParams
+{
+    std::uint64_t max_accesses = 60000;
+    std::uint64_t seed = 1;
+    /** Decoder layers; the whole stack repeats per token/step. */
+    int layers = 4;
+    /** Attention heads per layer (concurrent per-head streams). */
+    int heads = 4;
+    /** Elements per head vector; fp16, so 32 elements = one line. */
+    int head_dim = 64;
+    /** Prompt length: tokens present before the first decode step. */
+    int seq_start = 32;
+    /** Sliding attention window for prefill (caps the O(n^2) loop). */
+    int attn_window = 32;
+    /** Interleaved decode requests (1 = single stream). */
+    int batch = 1;
+    /** Cache lines streamed per weight matrix per layer visit. */
+    int weight_stream_lines = 48;
+    /** Vocabulary rows for the random sampled-token embedding gather. */
+    int vocab_rows = 4096;
+    /** Non-memory instructions between accesses. */
+    int compute_gap = 1;
+};
+
+/** Prompt-processing phase: dense walks + windowed attention. */
+Trace make_transformer_prefill_trace(const TransformerParams &p);
+
+/** Autoregressive decode: KV-cache growth + repeating weight streams. */
+Trace make_transformer_decode_trace(const TransformerParams &p);
+
+/** Batched decode: `batch` interleaved requests at staggered context
+ *  lengths (multi-tenant serving shape). */
+Trace make_transformer_mixed_trace(const TransformerParams &p);
+
+}  // namespace voyager::trace::gen

@@ -5,6 +5,7 @@
 #include "trace/gen/gap.hpp"
 #include "trace/gen/oltp.hpp"
 #include "trace/gen/spec_like.hpp"
+#include "trace/gen/transformer.hpp"
 
 namespace voyager::trace::gen {
 
@@ -37,11 +38,22 @@ oltp_benchmarks()
     return names;
 }
 
+const std::vector<std::string> &
+transformer_benchmarks()
+{
+    static const std::vector<std::string> names = {
+        "xf_prefill", "xf_decode", "xf_mixed",
+    };
+    return names;
+}
+
 std::vector<std::string>
 all_benchmarks()
 {
     auto out = spec_gap_benchmarks();
     for (const auto &n : oltp_benchmarks())
+        out.push_back(n);
+    for (const auto &n : transformer_benchmarks())
         out.push_back(n);
     return out;
 }
@@ -60,6 +72,22 @@ scale_accesses(Scale scale)
     return 160000;
 }
 
+namespace {
+
+/**
+ * The registered generators may finish a kernel beat after the budget;
+ * the registry contract is an exact length, so every dispatch below
+ * funnels through this truncation.
+ */
+Trace
+exact_length(Trace t, std::uint64_t budget)
+{
+    t.truncate(budget);
+    return t;
+}
+
+}  // namespace
+
 Trace
 make_workload(const std::string &name, Scale scale, std::uint64_t seed)
 {
@@ -67,6 +95,38 @@ make_workload(const std::string &name, Scale scale, std::uint64_t seed)
     const double fp = scale == Scale::Paper ? 4.0
                     : scale == Scale::Tiny ? 0.1
                                            : 0.5;
+
+    if (name == "xf_prefill" || name == "xf_decode" ||
+        name == "xf_mixed") {
+        // Geometry scales with the footprint: tiny keeps one-line head
+        // vectors and a 2-layer stack so unit tests stay fast; paper
+        // approaches a small production decoder.
+        TransformerParams p;
+        p.max_accesses = budget;
+        p.seed = seed;
+        p.layers = scale == Scale::Paper ? 8
+                 : scale == Scale::Tiny ? 2
+                                        : 4;
+        p.heads = scale == Scale::Paper ? 8
+                : scale == Scale::Tiny ? 2
+                                       : 4;
+        p.head_dim = scale == Scale::Tiny ? 32 : 64;
+        p.seq_start = scale == Scale::Paper ? 64
+                    : scale == Scale::Tiny ? 12
+                                           : 32;
+        p.attn_window = p.seq_start;
+        p.weight_stream_lines = scale == Scale::Paper ? 64
+                              : scale == Scale::Tiny ? 12
+                                                     : 32;
+        p.batch = name == "xf_mixed" ? 4 : 1;
+        if (name == "xf_prefill")
+            return exact_length(make_transformer_prefill_trace(p),
+                                budget);
+        if (name == "xf_decode")
+            return exact_length(make_transformer_decode_trace(p),
+                                budget);
+        return exact_length(make_transformer_mixed_trace(p), budget);
+    }
 
     if (name == "pr" || name == "bfs" || name == "cc") {
         // Node counts chosen so a trace covers 2-4 kernel iterations
@@ -80,10 +140,10 @@ make_workload(const std::string &name, Scale scale, std::uint64_t seed)
                     : scale == Scale::Tiny ? (1u << 9)
                                            : (1u << 11);
         if (name == "pr")
-            return make_pagerank_trace(p);
+            return exact_length(make_pagerank_trace(p), budget);
         if (name == "bfs")
-            return make_bfs_trace(p);
-        return make_cc_trace(p);
+            return exact_length(make_bfs_trace(p), budget);
+        return exact_length(make_cc_trace(p), budget);
     }
 
     if (name == "search" || name == "ads") {
@@ -94,8 +154,9 @@ make_workload(const std::string &name, Scale scale, std::uint64_t seed)
         p.handler_variants = scale == Scale::Paper ? 256
                            : scale == Scale::Tiny ? 16
                                                   : 64;
-        return name == "search" ? make_search_trace(p)
-                                : make_ads_trace(p);
+        return exact_length(name == "search" ? make_search_trace(p)
+                                             : make_ads_trace(p),
+                            budget);
     }
 
     SpecParams p;
@@ -103,17 +164,17 @@ make_workload(const std::string &name, Scale scale, std::uint64_t seed)
     p.seed = seed;
     p.footprint_scale = fp;
     if (name == "mcf")
-        return make_mcf_trace(p);
+        return exact_length(make_mcf_trace(p), budget);
     if (name == "omnetpp")
-        return make_omnetpp_trace(p);
+        return exact_length(make_omnetpp_trace(p), budget);
     if (name == "soplex")
-        return make_soplex_trace(p);
+        return exact_length(make_soplex_trace(p), budget);
     if (name == "astar")
-        return make_astar_trace(p);
+        return exact_length(make_astar_trace(p), budget);
     if (name == "sphinx")
-        return make_sphinx_trace(p);
+        return exact_length(make_sphinx_trace(p), budget);
     if (name == "xalancbmk")
-        return make_xalancbmk_trace(p);
+        return exact_length(make_xalancbmk_trace(p), budget);
     throw std::invalid_argument("unknown workload: " + name);
 }
 

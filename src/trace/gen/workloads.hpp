@@ -32,15 +32,24 @@ const std::vector<std::string> &spec_gap_benchmarks();
 /** search + ads (unified-metric-only workloads). */
 const std::vector<std::string> &oltp_benchmarks();
 
-/** spec_gap + oltp. */
+/** Transformer-inference family (DESIGN.md §5.17):
+ *  xf_prefill, xf_decode, xf_mixed. */
+const std::vector<std::string> &transformer_benchmarks();
+
+/** spec_gap + oltp + transformer. */
 std::vector<std::string> all_benchmarks();
 
 /**
  * Generate the named benchmark trace.
  *
  * @param name one of astar, bfs, cc, mcf, omnetpp, pr, soplex, sphinx,
- *             xalancbmk, search, ads
+ *             xalancbmk, search, ads, xf_prefill, xf_decode, xf_mixed
  * @throws std::invalid_argument for unknown names.
+ *
+ * The returned trace holds exactly scale_accesses(scale) accesses
+ * (generators may overrun a kernel boundary internally; the registry
+ * truncates to the requested length, a property the generator test
+ * suite pins for every registered name).
  */
 Trace make_workload(const std::string &name, Scale scale,
                     std::uint64_t seed = 1);

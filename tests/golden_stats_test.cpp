@@ -148,6 +148,38 @@ run_fig5_tiny()
 }
 
 /**
+ * Transformer-family pin (DESIGN.md §5.17): the tiny xf_decode
+ * workload simulated under ISB, BO and StreamGroup at degree 2, plus
+ * the StreamGroup internals in their closed prefetch.stream_group.*
+ * namespace. Every stat is integer-derived or a deterministic ratio
+ * of integers, so the document is byte-identical across release and
+ * sanitizer builds (the determinism test below pins the in-process
+ * half of that property).
+ */
+std::string
+run_transformer_tiny()
+{
+    StatRegistry reg;
+    reg.set_meta("bench", "transformer_tiny");
+    const auto t = trace::gen::make_workload(
+        "xf_decode", trace::gen::Scale::Tiny, 1);
+    const auto cfg = sim::tiny_sim_config();
+    for (const char *name : {"isb", "bo", "stream_group"}) {
+        auto pf = prefetch::make_prefetcher(name, 2);
+        const auto r = sim::simulate(t, cfg, *pf);
+        const std::string prefix =
+            std::string("sim.xf_decode.") + name + ".d2";
+        r.export_stats(reg, prefix);
+        pf->export_stats(reg, prefix);
+        if (std::string(name) == "stream_group")
+            pf->export_stats(reg, "prefetch.stream_group");
+    }
+    StatEmitOptions opts;
+    opts.include_volatile = false;
+    return reg.json(opts);
+}
+
+/**
  * Field-compare `current` against the checked-in document at `path`
  * (counters exact, everything else within a small FP tolerance), or
  * regenerate it when VOYAGER_UPDATE_GOLDEN is set. Shared by the
@@ -222,6 +254,20 @@ TEST(GoldenStats, Fig5TinyMatchesCheckedInDocument)
     compare_against_golden(
         std::string(VOYAGER_GOLDEN_DIR) + "/fig5_tiny.json",
         run_fig5_tiny());
+}
+
+TEST(GoldenStats, TransformerTinyMatchesCheckedInDocument)
+{
+    compare_against_golden(
+        std::string(VOYAGER_GOLDEN_DIR) + "/transformer_tiny.json",
+        run_transformer_tiny());
+}
+
+TEST(GoldenStats, TransformerTinyEmissionIsDeterministic)
+{
+    // Two full in-process runs must serialize byte-identically — the
+    // property the checked-in transformer_tiny.json relies on.
+    EXPECT_EQ(run_transformer_tiny(), run_transformer_tiny());
 }
 
 TEST(GoldenStats, ServeTinyMatchesCheckedInDocument)

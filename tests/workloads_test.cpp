@@ -6,11 +6,17 @@
  */
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "trace/gen/gap.hpp"
 #include "trace/gen/recorder.hpp"
 #include "trace/gen/graph.hpp"
 #include "trace/gen/oltp.hpp"
 #include "trace/gen/spec_like.hpp"
+#include "trace/gen/transformer.hpp"
 #include "trace/gen/workloads.hpp"
 
 namespace voyager::trace::gen {
@@ -66,7 +72,8 @@ TEST(Workloads, RegistryNames)
 {
     EXPECT_EQ(spec_gap_benchmarks().size(), 9u);
     EXPECT_EQ(oltp_benchmarks().size(), 2u);
-    EXPECT_EQ(all_benchmarks().size(), 11u);
+    EXPECT_EQ(transformer_benchmarks().size(), 3u);
+    EXPECT_EQ(all_benchmarks().size(), 14u);
     EXPECT_THROW(make_workload("nope", Scale::Tiny),
                  std::invalid_argument);
 }
@@ -81,16 +88,17 @@ TEST_P(WorkloadParam, ProducesBudgetedDeterministicTrace)
     const Trace t = make_workload(name, Scale::Tiny, 5);
     EXPECT_EQ(t.name(), name);
     const auto budget = scale_accesses(Scale::Tiny);
-    EXPECT_GE(t.size(), budget);
-    EXPECT_LE(t.size(), budget + 64);  // kernels may finish a beat late
+    EXPECT_EQ(t.size(), budget);  // registry contract: exact length
     EXPECT_GE(t.instructions(), t.size());
 
-    // Determinism: same seed -> identical trace.
+    // Determinism: same seed -> byte-identical trace.
     const Trace u = make_workload(name, Scale::Tiny, 5);
     ASSERT_EQ(u.size(), t.size());
-    EXPECT_EQ(u[0], t[0]);
-    EXPECT_EQ(u[t.size() / 2], t[t.size() / 2]);
-    EXPECT_EQ(u[t.size() - 1], t[t.size() - 1]);
+    EXPECT_EQ(u.instructions(), t.instructions());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ(u[i], t[i])
+            << name << " diverges at access " << i;
+    }
 
     // Different seed -> different stream (except degenerate cases).
     const Trace v = make_workload(name, Scale::Tiny, 6);
@@ -98,6 +106,18 @@ TEST_P(WorkloadParam, ProducesBudgetedDeterministicTrace)
     for (std::size_t i = 0; !any_diff && i < t.size(); ++i)
         any_diff = !(v[i] == t[i]);
     EXPECT_TRUE(any_diff) << name << " ignores its seed";
+}
+
+TEST_P(WorkloadParam, AddressesWithinDeclaredBounds)
+{
+    const Trace t = make_workload(GetParam(), Scale::Tiny, 3);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto &a = t[i];
+        ASSERT_GE(a.pc, layout::kCodeBase) << "access " << i;
+        ASSERT_LT(a.pc, layout::kCodeLimit) << "access " << i;
+        ASSERT_GE(a.addr, layout::data_base(0)) << "access " << i;
+        ASSERT_LT(a.addr, layout::kDataLimit) << "access " << i;
+    }
 }
 
 TEST_P(WorkloadParam, HasPluralPcsAndPages)
@@ -109,8 +129,11 @@ TEST_P(WorkloadParam, HasPluralPcsAndPages)
     EXPECT_GT(s.load_fraction, 0.5);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadParam,
-                         ::testing::ValuesIn(all_benchmarks()));
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadParam, ::testing::ValuesIn(all_benchmarks()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
 
 TEST(Workloads, OltpHasManyMorePcsThanGap)
 {
@@ -161,6 +184,101 @@ TEST(GapKernels, BfsVisitsReachableNodes)
     p.max_accesses = 6000;
     const Trace t = make_bfs_trace(p);
     EXPECT_GE(t.size(), p.max_accesses);
+}
+
+TEST(Workloads, EveryGeneratorRejectsZeroLengthRequests)
+{
+    // Table-driven over every generator family: a zero-access request
+    // is a caller bug and must throw instead of emitting an empty
+    // trace (recorder.hpp checked_budget()).
+    GapParams gp;
+    gp.max_accesses = 0;
+    gp.num_nodes = 64;
+    OltpParams op;
+    op.max_accesses = 0;
+    op.footprint_scale = 0.05;
+    SpecParams sp;
+    sp.max_accesses = 0;
+    sp.footprint_scale = 0.05;
+    TransformerParams tp;
+    tp.max_accesses = 0;
+    const std::vector<std::pair<const char *, std::function<Trace()>>>
+        gens = {
+            {"pr", [&] { return make_pagerank_trace(gp); }},
+            {"bfs", [&] { return make_bfs_trace(gp); }},
+            {"cc", [&] { return make_cc_trace(gp); }},
+            {"search", [&] { return make_search_trace(op); }},
+            {"ads", [&] { return make_ads_trace(op); }},
+            {"mcf", [&] { return make_mcf_trace(sp); }},
+            {"omnetpp", [&] { return make_omnetpp_trace(sp); }},
+            {"soplex", [&] { return make_soplex_trace(sp); }},
+            {"astar", [&] { return make_astar_trace(sp); }},
+            {"sphinx", [&] { return make_sphinx_trace(sp); }},
+            {"xalancbmk", [&] { return make_xalancbmk_trace(sp); }},
+            {"xf_prefill",
+             [&] { return make_transformer_prefill_trace(tp); }},
+            {"xf_decode",
+             [&] { return make_transformer_decode_trace(tp); }},
+            {"xf_mixed",
+             [&] { return make_transformer_mixed_trace(tp); }},
+        };
+    for (const auto &[name, gen] : gens)
+        EXPECT_THROW(gen(), std::invalid_argument) << name;
+}
+
+TEST(Transformer, WeightStreamsRepeatAcrossSteps)
+{
+    // The weight-matrix PCs must re-issue the same line sequence every
+    // decode step (that repetition is what the StreamGroup fast-track
+    // and Voyager's temporal machinery feed on).
+    TransformerParams p;
+    p.max_accesses = 20000;
+    p.layers = 2;
+    p.heads = 2;
+    p.head_dim = 32;
+    p.seq_start = 8;
+    p.attn_window = 8;
+    p.weight_stream_lines = 8;
+    const Trace t = make_transformer_decode_trace(p);
+    // Collect lines touched by the first weight PC; the multiset of
+    // distinct lines must be tiny (the same stream re-walked), while
+    // the PC itself must fire many times.
+    std::map<Addr, std::size_t> lines_by_first_weight_pc;
+    std::size_t hits = 0;
+    Addr weight_pc = 0;
+    for (const auto &a : t.accesses()) {
+        if (weight_pc == 0 && a.pc >= layout::pc_of(40, 0) &&
+            a.pc < layout::pc_of(41, 0)) {
+            weight_pc = a.pc;
+        }
+        if (weight_pc != 0 && a.pc == weight_pc) {
+            ++hits;
+            ++lines_by_first_weight_pc[a.addr / 64];
+        }
+    }
+    EXPECT_GT(hits, 200u);
+    // Re-walked stream: repetitions vastly outnumber distinct lines.
+    EXPECT_LT(lines_by_first_weight_pc.size() * 10, hits);
+}
+
+TEST(Transformer, DecodeAttentionFootprintGrowsWithKvCache)
+{
+    // Decode re-reads the whole K cache per step, so the per-step
+    // attention read count must grow as the sequence lengthens.
+    TransformerParams p;
+    p.max_accesses = 30000;
+    p.layers = 2;
+    p.heads = 2;
+    p.head_dim = 32;
+    p.seq_start = 8;
+    p.attn_window = 64;
+    p.weight_stream_lines = 4;
+    const Trace t = make_transformer_decode_trace(p);
+    const auto s = t.stats();
+    // The KV cache keeps appending fresh lines, so the footprint must
+    // clearly exceed the static weight + activation working set.
+    EXPECT_GT(s.unique_lines, 200u);
+    EXPECT_GE(s.unique_pcs, 10u);
 }
 
 TEST(Oltp, InterleavingMixesPcs)

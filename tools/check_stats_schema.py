@@ -103,6 +103,54 @@ FAULT_STATS = {
     "fault.injected_trace": "counter",
 }
 
+# The transformer-workload sweep's closed namespace (DESIGN.md
+# section 5.17, emitted by bench_transformer):
+#   transformer.<workload>.<prefetcher>.{acc,cov,us_per_access}
+# acc/cov are deterministic simulator ratios; us_per_access is
+# wall-clock and registered volatile (absent from golden documents).
+TRANSFORMER_WORKLOADS = {"xf_prefill", "xf_decode", "xf_mixed"}
+TRANSFORMER_PREFETCHERS = {"isb", "stms", "bo", "stream_group",
+                           "voyager"}
+TRANSFORMER_LEAVES = {
+    "acc": "gauge",
+    "cov": "gauge",
+    "us_per_access": "gauge",
+}
+
+# The StreamGroup prefetcher's closed stat namespace (DESIGN.md
+# section 5.17, emitted by prefetch::StreamGroup::export_stats under
+# the "prefetch.stream_group" prefix in bench_transformer).
+STREAM_GROUP_STATS = {
+    "prefetch.stream_group.storage_bytes": "counter",
+    "prefetch.stream_group.streams_created": "counter",
+    "prefetch.stream_group.fast_tracks": "counter",
+    "prefetch.stream_group.stream_evictions": "counter",
+    "prefetch.stream_group.pc_evictions": "counter",
+    "prefetch.stream_group.patterns_recorded": "counter",
+    "prefetch.stream_group.prefetches_issued": "counter",
+    "prefetch.stream_group.table_pcs": "counter",
+    "prefetch.stream_group.groups": "counter",
+}
+
+
+def check_transformer(name, body, errors):
+    parts = name.split(".")
+    expected = None
+    if (len(parts) == 4 and parts[1] in TRANSFORMER_WORKLOADS
+            and parts[2] in TRANSFORMER_PREFETCHERS):
+        expected = TRANSFORMER_LEAVES.get(parts[3])
+    if expected is None:
+        errors.append(
+            f"{name}: unknown transformer stat (expected "
+            f"transformer.<workload>.<prefetcher>.<leaf> with "
+            f"workload in {sorted(TRANSFORMER_WORKLOADS)}, "
+            f"prefetcher in {sorted(TRANSFORMER_PREFETCHERS)}, "
+            f"leaf in {sorted(TRANSFORMER_LEAVES)})")
+    elif isinstance(body, dict) and body.get("kind") != expected:
+        errors.append(f"{name}: must be a {expected}, got "
+                      f"{body.get('kind')!r}")
+
+
 # The flat-hash micro-benchmark's closed namespace (DESIGN.md section
 # 5.15, emitted by bench_micro_hash):
 #   micro_hash.<dist>.<op>.{flat_ns,std_ns,speedup}  wall-clock gauges
@@ -294,6 +342,17 @@ def check_document(doc, errors):
                               f"{body.get('kind')!r}")
         if name.startswith("micro_hash."):
             check_micro_hash(name, body, errors)
+        if name.startswith("transformer."):
+            check_transformer(name, body, errors)
+        if name.startswith("prefetch.stream_group."):
+            expected = STREAM_GROUP_STATS.get(name)
+            if expected is None:
+                errors.append(f"{name}: unknown stream_group stat "
+                              f"(expected one of "
+                              f"{sorted(STREAM_GROUP_STATS)})")
+            elif isinstance(body, dict) and body.get("kind") != expected:
+                errors.append(f"{name}: must be a {expected}, got "
+                              f"{body.get('kind')!r}")
         if ".compress.int8." in name:
             leaf = name.split(".compress.int8.", 1)[1]
             expected = COMPRESS_INT8_LEAVES.get(leaf)

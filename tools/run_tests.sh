@@ -23,6 +23,9 @@ ctest --preset fault --output-on-failure
 echo "== release: ctest -L serve =="
 ctest --preset serve --output-on-failure
 
+echo "== release: ctest -L transformer =="
+ctest --preset transformer --output-on-failure
+
 echo "== asan-ubsan: configure + build =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j1
@@ -38,6 +41,9 @@ ctest --preset asan-fault --output-on-failure
 
 echo "== asan-ubsan: ctest -L serve =="
 ctest --preset asan-serve --output-on-failure
+
+echo "== asan-ubsan: ctest -L transformer =="
+ctest --preset asan-transformer --output-on-failure
 
 echo "== stats schema validation =="
 out=$(mktemp /tmp/voyager_stats.XXXXXX.json)
@@ -84,5 +90,20 @@ rm -f "$serve_out"
 ./build-asan/bench/bench_serve --scale=tiny --tenants=2 \
     --requests=20 --serve_batches=4 --serve_train_samples=100 \
     >/dev/null
+
+# Transformer-workload smoke (DESIGN.md section 5.17): the full
+# prefetcher sweep (rules + Voyager) must run end to end at tiny
+# scale and emit a schema-valid document including the closed
+# transformer.* and prefetch.stream_group.* namespaces. The neural
+# result is cache-keyed like every other bench training, so reruns
+# only pay for the rule-based sweep.
+echo "== bench_transformer smoke (tiny) =="
+xf_out=$(mktemp /tmp/voyager_xf.XXXXXX.json)
+./build/bench/bench_transformer --scale=tiny --epochs=2 --passes=1 \
+    --stats_json="$xf_out" >/dev/null
+python3 tools/check_stats_schema.py "$xf_out"
+grep -q '"transformer.xf_decode.stream_group.acc"' "$xf_out"
+grep -q '"prefetch.stream_group.fast_tracks"' "$xf_out"
+rm -f "$xf_out"
 
 echo "all gates passed"
