@@ -18,6 +18,7 @@
 
 #include "common.hpp"
 #include "core/compress.hpp"
+#include "core/distilled.hpp"
 #include "prefetch/isb.hpp"
 #include "prefetch/stms.hpp"
 
@@ -141,13 +142,25 @@ main(int argc, char **argv)
             isb_pf.table_bytes();
         ctx.stats().counter(p + ".stms_table_bytes") =
             stms_pf.table_bytes();
+
+        // Distilled correlation table (§5.5 toy): compile the run's
+        // own predictions and account its per-entry storage model
+        // next to the temporal-metadata tables. FlatHashMap-backed
+        // and tie-broken by key, so the footprint is independent of
+        // map iteration order (golden-pinned).
+        const auto distilled = core::DistilledPrefetcher::distill(
+            stream, res.predictions, {});
+        ctx.stats().counter(p + ".distilled_table_bytes") =
+            distilled.storage_bytes();
         std::cout << "  metadata tables: isb "
                   << human_bytes(isb_pf.storage_bytes()) << " model / "
                   << human_bytes(isb_pf.table_bytes())
                   << " flat, stms "
                   << human_bytes(stms_pf.storage_bytes())
                   << " model / " << human_bytes(stms_pf.table_bytes())
-                  << " flat\n";
+                  << " flat, distilled "
+                  << human_bytes(distilled.storage_bytes()) << " ("
+                  << distilled.table_entries() << " entries)\n";
 
         // Int8 engine stats (§5.13): quantization quality is
         // deterministic; the us/sample timings are wall-clock and so

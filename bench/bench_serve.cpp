@@ -5,10 +5,14 @@
  * bench_cache entry: the sweep measures forward throughput, not
  * accuracy), then serves N tenants — contiguous slices of the same
  * LLC stream — through the src/serve/ pipeline, sweeping inference
- * engine {fp32, int8} × micro-batch size and reporting wall-clock
- * requests/sec plus the speedup over unbatched (max_batch=1) serving.
- * A final canonical run (fp32, largest batch) exports the literal
- * closed `serve.*` namespace into the stats document.
+ * engine {fp32, int8, distilled} × micro-batch size and reporting
+ * wall-clock requests/sec plus the speedup over unbatched
+ * (max_batch=1) serving. The distilled engine probes the tabularized
+ * model (DESIGN.md §5.18) and falls back to the neural fp32 path on
+ * table miss. A final canonical run (fp32, largest batch) exports the
+ * literal closed `serve.*` namespace into the stats document; when
+ * the distilled engine is swept, a canonical distilled run exports
+ * `distill.table.*` and `distill.serve.*` alongside it.
  *
  * Extra flags (on top of the common ones in bench/common.hpp):
  *   --tenants=N              simulated clients (default 4)
@@ -16,16 +20,22 @@
  *   --serve_batches=a,b,c    max_batch sweep (default 1,2,4,8)
  *   --serve_degree=N         prefetch degree per request (default 2)
  *   --serve_train_samples=N  training-sample cap (default 2000)
+ *   --engines=a,b,c          engine sweep (default fp32,int8,distilled)
+ *   --distill_budget=N       tabular byte budget (default 262144)
  */
 #include <chrono>
 #include <iostream>
+#include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "core/tabular.hpp"
 #include "serve/client.hpp"
 #include "serve/predictor.hpp"
 #include "serve/server.hpp"
+#include "serve/tabular_predictor.hpp"
 
 namespace {
 
@@ -51,23 +61,22 @@ tenant_slices(const std::vector<core::LlcAccess> &stream,
     return slices;
 }
 
-/** One sweep cell: serve every tenant to exhaustion, return wall
- *  seconds spent inside run_interleaved. */
+/** One sweep cell: serve every tenant to exhaustion through `pred`,
+ *  return wall seconds spent inside run_interleaved. */
 double
-serve_once(core::VoyagerAdapter &adapter,
+serve_once(serve::TokenPredictor &pred, const core::Vocabulary &vocab,
+           std::size_t seq_len,
            const std::vector<std::vector<sim::LlcAccess>> &slices,
            std::size_t max_batch, std::uint32_t degree,
            std::uint64_t seed, StatRegistry *reg = nullptr)
 {
-    serve::AdapterPredictor pred(adapter);
     serve::ServeConfig sc;
     sc.max_batch = max_batch;
     serve::PrefetchServer server(pred, sc);
     std::vector<serve::SimulatedClient> clients;
     for (std::uint32_t t = 0;
          t < static_cast<std::uint32_t>(slices.size()); ++t)
-        clients.emplace_back(t, slices[t], adapter.vocab(),
-                             adapter.model().config().seq_len, degree);
+        clients.emplace_back(t, slices[t], vocab, seq_len, degree);
     const auto t0 = std::chrono::steady_clock::now();
     serve::run_interleaved(server, clients, seed);
     const std::chrono::duration<double> dt =
@@ -103,6 +112,10 @@ main(int argc, char **argv)
     for (const auto &tok : split(
              ctx.raw().get_string("serve_batches", "1,2,4,8"), ','))
         batches.push_back(std::stoul(tok));
+    const auto engines = split(
+        ctx.raw().get_string("engines", "fp32,int8,distilled"), ',');
+    const std::uint64_t distill_budget =
+        ctx.raw().get_uint("distill_budget", 256 * 1024);
 
     // Train once on a bounded prefix; every sweep cell then serves
     // with frozen weights, so the cells differ only in batching and
@@ -123,6 +136,23 @@ main(int argc, char **argv)
               << " accesses (cap " << train_cap << ")...\n";
     core::train_online(adapter, train_n, tc);
 
+    // Tabularize the trained model over its own training prefix
+    // (DESIGN.md §5.18) so the distilled engine has warm contexts to
+    // probe; everything outside the prefix exercises the fallback.
+    core::TabularConfig tab_cfg;
+    tab_cfg.degree = degree;
+    tab_cfg.budget_bytes = distill_budget;
+    std::vector<std::size_t> teach_idx(train_n - adapter.min_index());
+    std::iota(teach_idx.begin(), teach_idx.end(), adapter.min_index());
+    const auto teacher = adapter.predict_token_candidates(
+        teach_idx, tab_cfg.degree + 2);
+    const auto table = core::distill_to_table(
+        adapter.encoded(), teach_idx, teacher, vc.seq_len, tab_cfg);
+    std::cout << "distilled table: " << table.l1_entries() << " L1 + "
+              << table.l2_entries() << " L2 entries, "
+              << human_bytes(table.storage_bytes()) << " of "
+              << human_bytes(table.budget_bytes()) << " budget\n";
+
     const auto slices =
         tenant_slices(stream, adapter.min_index(), tenants, requests);
     std::size_t total = 0;
@@ -134,15 +164,24 @@ main(int argc, char **argv)
     Table t({"engine/batch", "requests", "seconds", "req_per_sec",
              "speedup_vs_b1"});
     double best_batched_speedup = 0.0;
-    for (const std::string engine : {"fp32", "int8"}) {
+    for (const std::string &engine : engines) {
         if (engine == "int8")
             adapter.enable_int8_inference();
         else
             adapter.disable_int8_inference();
+        serve::AdapterPredictor neural(adapter);
+        std::unique_ptr<serve::TabularPredictor> tabular;
+        if (engine == "distilled")
+            tabular = std::make_unique<serve::TabularPredictor>(
+                table, neural);
+        serve::TokenPredictor &pred =
+            tabular ? static_cast<serve::TokenPredictor &>(*tabular)
+                    : neural;
         double base_rps = 0.0;
         for (const std::size_t b : batches) {
-            const double secs = serve_once(adapter, slices, b, degree,
-                                           ctx.seed());
+            const double secs =
+                serve_once(pred, adapter.vocab(), vc.seq_len, slices,
+                           b, degree, ctx.seed());
             const double rps =
                 secs > 0.0 ? static_cast<double>(total) / secs : 0.0;
             if (b == batches.front())
@@ -167,7 +206,21 @@ main(int argc, char **argv)
     // Canonical serve.* document: one fp32 run at the largest batch
     // exports the closed namespace (queue/latency histograms and the
     // volatile forward timer) for schema validation downstream.
-    serve_once(adapter, slices, batches.back(), degree, ctx.seed(),
-               &ctx.stats());
+    serve::AdapterPredictor canonical(adapter);
+    serve_once(canonical, adapter.vocab(), vc.seq_len, slices,
+               batches.back(), degree, ctx.seed(), &ctx.stats());
+
+    // Canonical distill.* document: one distilled run at the largest
+    // batch exports the table layout and probe/fallback counters.
+    for (const auto &engine : engines) {
+        if (engine != "distilled")
+            continue;
+        serve::TabularPredictor tabular(table, canonical);
+        serve_once(tabular, adapter.vocab(), vc.seq_len, slices,
+                   batches.back(), degree, ctx.seed());
+        table.export_stats(ctx.stats());
+        tabular.export_stats(ctx.stats());
+        break;
+    }
     return ctx.exit_code();
 }

@@ -1,7 +1,6 @@
 #include "core/distilled.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace voyager::core {
 
@@ -25,9 +24,9 @@ DistilledPrefetcher::distill(
     DistilledPrefetcher pf(cfg);
 
     // Vote: context -> predicted line -> count.
-    std::unordered_map<std::uint64_t,
-                       std::unordered_map<Addr, std::uint32_t>> votes;
-    std::unordered_map<std::uint64_t, std::uint32_t> context_freq;
+    FlatHashMap<std::uint64_t, FlatHashMap<Addr, std::uint32_t>>
+        votes;
+    FlatHashMap<std::uint64_t, std::uint32_t> context_freq;
     Addr prev = 0;
     bool have_prev = false;
     for (std::size_t i = 0;
@@ -50,10 +49,16 @@ DistilledPrefetcher::distill(
     for (const auto &[k, v] : votes)
         keys.push_back(k);
     if (keys.size() > cfg.max_entries) {
+        // Tie-break equal frequencies by key so the survivor set
+        // never depends on the map's iteration order.
         std::nth_element(keys.begin(), keys.begin() + cfg.max_entries,
                          keys.end(),
                          [&](std::uint64_t a, std::uint64_t b) {
-                             return context_freq[a] > context_freq[b];
+                             const auto fa = context_freq[a];
+                             const auto fb = context_freq[b];
+                             if (fa != fb)
+                                 return fa > fb;
+                             return a < b;
                          });
         keys.resize(cfg.max_entries);
     }

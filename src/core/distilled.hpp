@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/prefetcher.hpp"
+#include "util/flat_hash.hpp"
 
 namespace voyager::core {
 
@@ -55,7 +55,7 @@ class DistilledPrefetcher final : public sim::Prefetcher
     std::uint64_t key(Addr prev, Addr line, Addr pc) const;
 
     DistillConfig cfg_;
-    std::unordered_map<std::uint64_t, std::vector<Addr>> table_;
+    FlatHashMap<std::uint64_t, std::vector<Addr>> table_;
     Addr prev_line_ = 0;
     bool have_prev_ = false;
 };

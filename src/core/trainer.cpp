@@ -448,6 +448,36 @@ VoyagerAdapter::predict_on(const std::vector<std::size_t> &indices,
     return out;
 }
 
+std::vector<std::vector<TokenPrediction>>
+VoyagerAdapter::predict_token_candidates(
+    const std::vector<std::size_t> &indices, std::size_t k)
+{
+    std::vector<std::vector<TokenPrediction>> out(indices.size());
+    const std::size_t bs = cfg_.batch_size;
+    VoyagerBatch batch;
+    std::vector<std::size_t> chunk;
+    std::vector<std::size_t> chunk_slots;
+    for (std::size_t pos = 0; pos < indices.size(); pos += bs) {
+        chunk.clear();
+        chunk_slots.clear();
+        for (std::size_t j = pos;
+             j < std::min(indices.size(), pos + bs); ++j) {
+            if (indices[j] + 1 < cfg_.seq_len ||
+                indices[j] >= stream_.size())
+                continue;
+            chunk.push_back(indices[j]);
+            chunk_slots.push_back(j);
+        }
+        if (chunk.empty())
+            continue;
+        fill_histories(chunk, batch);
+        auto preds = predict_tokens(batch, k);
+        for (std::size_t b = 0; b < chunk.size(); ++b)
+            out[chunk_slots[b]] = std::move(preds[b]);
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // DeltaLstmAdapter
 // ---------------------------------------------------------------------

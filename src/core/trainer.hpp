@@ -274,6 +274,17 @@ class VoyagerAdapter final : public SequenceModel
                        : model_.predict(batch, k);
     }
 
+    /**
+     * Ranked top-k token candidates per index — the token-level twin
+     * of predict_on (same trailing windows, same batch chunking,
+     * same engine routing) minus the decode loop. The distillation
+     * pass (core/tabular.hpp) consumes these as teacher labels.
+     * Indices without enough history yield empty slots.
+     */
+    std::vector<std::vector<TokenPrediction>>
+    predict_token_candidates(const std::vector<std::size_t> &indices,
+                             std::size_t k);
+
   private:
     /** Fill histories for `indices` into a batch (no labels). */
     void fill_histories(const std::vector<std::size_t> &indices,

@@ -33,6 +33,21 @@ class TokenPredictor
     virtual std::vector<std::vector<core::TokenPrediction>>
     predict_tokens(const core::VoyagerBatch &batch, std::size_t k) = 0;
 
+    /**
+     * Tenant-aware variant the server dispatches through: `tenants`
+     * holds one tenant id per batch row. The default ignores the
+     * routing hint and forwards to predict_tokens; predictors that
+     * specialise per tenant (TabularPredictor's drift fallback)
+     * override it.
+     */
+    virtual std::vector<std::vector<core::TokenPrediction>>
+    predict_tokens_for(const core::VoyagerBatch &batch, std::size_t k,
+                       const std::vector<std::uint32_t> &tenants)
+    {
+        (void)tenants;
+        return predict_tokens(batch, k);
+    }
+
     /** Resolve a candidate against the request's prev_line; nullopt
      *  for OOV pages or deltas that leave the page. */
     virtual std::optional<Addr> decode(std::int32_t page_token,

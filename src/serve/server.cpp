@@ -70,12 +70,15 @@ PrefetchServer::dispatch_batch()
     // plus the over-fetch slack (predict_on's degree + 2 when every
     // tenant asks the same degree).
     std::uint32_t max_degree = 0;
-    for (const PrefetchRequest &r : batch_reqs_)
+    batch_tenants_.clear();
+    for (const PrefetchRequest &r : batch_reqs_) {
         max_degree = std::max(max_degree, r.degree);
+        batch_tenants_.push_back(r.tenant);
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto preds = predictor_.predict_tokens(
-        batch_, max_degree + cfg_.over_fetch);
+    const auto preds = predictor_.predict_tokens_for(
+        batch_, max_degree + cfg_.over_fetch, batch_tenants_);
     forward_seconds_ += std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();

@@ -100,6 +100,7 @@ class PrefetchServer
 
     // Dispatch scratch, reused across batches.
     std::vector<PrefetchRequest> batch_reqs_;
+    std::vector<std::uint32_t> batch_tenants_;
     core::VoyagerBatch batch_;
 };
 

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Differential tests for the tabular serving path against the real
+ * neural teacher (DESIGN.md §5.18): table hits must reproduce the
+ * teacher's top-1 token on the distillation stream, and a tenant that
+ * never hits the table (forced miss) must receive bit-identical
+ * responses to a pure neural PrefetchServer — the serving-layer
+ * batch-invariance property extended through the fallback sub-batch.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/tabular.hpp"
+#include "core/trainer.hpp"
+#include "serve/predictor.hpp"
+#include "serve/server.hpp"
+#include "serve/tabular_predictor.hpp"
+#include "util/random.hpp"
+
+namespace voyager {
+namespace {
+
+core::LlcAccess
+acc(Addr pc, Addr line, std::uint64_t index)
+{
+    core::LlcAccess a;
+    a.index = index;
+    a.pc = pc;
+    a.line = line;
+    a.is_load = true;
+    return a;
+}
+
+/** The golden tests' strongly repeating stream. */
+std::vector<core::LlcAccess>
+cyclic_stream(std::size_t n, std::size_t period, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> tour(period);
+    for (std::size_t i = 0; i < period; ++i)
+        tour[i] = 0x10000 + rng.next_below(200) * 7 + i * 3;
+    std::vector<core::LlcAccess> s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(acc(0x400000 + (i % 4) * 4, tour[i % period], i));
+    return s;
+}
+
+/** Tiny trained teacher (the golden_determinism recipe). */
+struct TinyTeacher
+{
+    std::vector<core::LlcAccess> stream;
+    core::VoyagerConfig vc;
+    std::unique_ptr<core::VoyagerAdapter> adapter;
+
+    TinyTeacher()
+    {
+        stream = cyclic_stream(600, 30, 7);
+        vc.seq_len = 4;
+        vc.pc_embed_dim = 4;
+        vc.page_embed_dim = 8;
+        vc.num_experts = 2;
+        vc.lstm_units = 8;
+        vc.batch_size = 16;
+        vc.seed = 42;
+        adapter = std::make_unique<core::VoyagerAdapter>(vc, stream);
+        core::OnlineTrainConfig tc;
+        tc.epochs = 2;
+        tc.degree = 2;
+        tc.train_passes = 1;
+        tc.max_train_samples_per_epoch = 200;
+        tc.cumulative = true;
+        tc.seed = 1;
+        core::train_online(*adapter, stream.size(), tc);
+    }
+};
+
+TEST(DistillDifferential, TableHitsMatchNeuralTeacherTop1)
+{
+    TinyTeacher t;
+    std::vector<std::size_t> eval(t.stream.size() -
+                                  t.adapter->min_index());
+    std::iota(eval.begin(), eval.end(), t.adapter->min_index());
+    const auto teacher =
+        t.adapter->predict_token_candidates(eval, 4);
+
+    // L1 context = the entire window (+PC), budget ample: every
+    // distinct window keys one entry, and identical windows receive
+    // identical teacher votes (inference is a pure function of the
+    // frozen weights), so the accumulated top-1 must equal the
+    // teacher's top-1 everywhere.
+    core::TabularConfig cfg;
+    cfg.l1_history = t.vc.seq_len;
+    cfg.l2_history = 1;
+    cfg.degree = 4;
+    cfg.budget_bytes = 1 << 20;
+    const auto table = core::distill_to_table(
+        t.adapter->encoded(), eval, teacher, t.vc.seq_len, cfg);
+
+    const auto &enc = t.adapter->encoded();
+    std::vector<core::TokenPrediction> out;
+    std::size_t checked = 0;
+    for (std::size_t j = 0; j < eval.size(); ++j) {
+        const std::size_t i = eval[j];
+        const auto lvl = table.probe(
+            enc.pc[i], enc.page.data() + i + 1 - t.vc.seq_len,
+            enc.offset.data() + i + 1 - t.vc.seq_len, t.vc.seq_len,
+            out);
+        ASSERT_EQ(lvl, core::TabularTable::ProbeLevel::L1);
+        ASSERT_FALSE(out.empty());
+        ASSERT_FALSE(teacher[j].empty());
+        EXPECT_EQ(out[0].page, teacher[j][0].page);
+        EXPECT_EQ(out[0].offset, teacher[j][0].offset);
+        ++checked;
+    }
+    EXPECT_EQ(checked, eval.size());
+}
+
+/** Requests replaying the encoded stream's full windows. */
+std::vector<serve::PrefetchRequest>
+window_requests(const core::EncodedStream &enc,
+                const std::vector<core::LlcAccess> &stream,
+                std::size_t seq_len, std::size_t first,
+                std::size_t count)
+{
+    std::vector<serve::PrefetchRequest> reqs;
+    for (std::size_t i = first; i < first + count; ++i) {
+        serve::PrefetchRequest r;
+        r.tenant = static_cast<std::uint32_t>(i % 3);
+        r.seq = i;
+        const std::size_t start = i + 1 - seq_len;
+        r.pc.assign(enc.pc.begin() + start,
+                    enc.pc.begin() + start + seq_len);
+        r.page.assign(enc.page.begin() + start,
+                      enc.page.begin() + start + seq_len);
+        r.offset.assign(enc.offset.begin() + start,
+                        enc.offset.begin() + start + seq_len);
+        r.prev_line = stream[i].line;
+        r.degree = 2;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+TEST(DistillDifferential, ForcedMissTenantBitIdenticalToNeuralServe)
+{
+    TinyTeacher t;
+    const auto &enc = t.adapter->encoded();
+
+    // An empty table (zero budget) forces every row down the
+    // fallback, so the tabular server must behave exactly like the
+    // pure neural server — same batches, same forwards, same decoded
+    // lines, bit for bit.
+    core::TabularConfig cfg;
+    cfg.l1_history = t.vc.seq_len;
+    cfg.budget_bytes = 0;
+    const core::TabularTable table(cfg);
+
+    serve::AdapterPredictor neural_pure(*t.adapter);
+    serve::AdapterPredictor neural_fallback(*t.adapter);
+    serve::TabularPredictor tabular(table, neural_fallback);
+
+    serve::ServeConfig sc;
+    sc.max_batch = 4;
+    serve::PrefetchServer pure(neural_pure, sc);
+    serve::PrefetchServer distilled(tabular, sc);
+
+    const auto reqs = window_requests(enc, t.stream, t.vc.seq_len,
+                                      t.adapter->min_index(), 120);
+    for (const auto &r : reqs) {
+        pure.submit(r);
+        distilled.submit(r);
+    }
+    pure.flush();
+    distilled.flush();
+
+    const auto a = pure.take_ready();
+    const auto b = distilled.take_ready();
+    ASSERT_EQ(a.size(), reqs.size());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        EXPECT_EQ(a[i].seq, b[i].seq);
+        EXPECT_EQ(a[i].batch_rows, b[i].batch_rows);
+        EXPECT_EQ(a[i].wait_ticks, b[i].wait_ticks);
+        ASSERT_EQ(a[i].lines, b[i].lines);
+    }
+}
+
+TEST(DistillDifferential, MixedBatchFallbackRowsMatchNeuralExactly)
+{
+    TinyTeacher t;
+    const auto &enc = t.adapter->encoded();
+    std::vector<std::size_t> eval(t.stream.size() -
+                                  t.adapter->min_index());
+    std::iota(eval.begin(), eval.end(), t.adapter->min_index());
+    const auto teacher =
+        t.adapter->predict_token_candidates(eval, 4);
+
+    core::TabularConfig cfg;
+    cfg.l1_history = t.vc.seq_len;
+    cfg.degree = 4;
+    cfg.budget_bytes = 1 << 20;
+    const auto table = core::distill_to_table(enc, eval, teacher,
+                                              t.vc.seq_len, cfg);
+
+    serve::AdapterPredictor neural(*t.adapter);
+    serve::TabularPredictor tabular(table, neural);
+
+    // One mixed batch: two warm windows straight off the stream and
+    // two synthetic windows (a reversed history, a constant-page
+    // run) the distillation stream never produced. The cold rows
+    // must fall back, and — the fp32 path being batch-invariant —
+    // equal the neural answer for the identical batch exactly.
+    const std::size_t T = t.vc.seq_len;
+    const std::vector<std::size_t> rows = {eval.front(), eval[7]};
+    core::VoyagerBatch batch;
+    batch.batch = 4;
+    batch.seq = T;
+    batch.pc.resize(4 * T);
+    batch.page.resize(4 * T);
+    batch.offset.resize(4 * T);
+    for (std::size_t b = 0; b < rows.size(); ++b) {
+        const std::size_t start = rows[b] + 1 - T;
+        for (std::size_t k = 0; k < T; ++k) {
+            batch.pc[b * T + k] = enc.pc[start + k];
+            batch.page[b * T + k] = enc.page[start + k];
+            batch.offset[b * T + k] = enc.offset[start + k];
+        }
+    }
+    for (std::size_t k = 0; k < T; ++k) {
+        // Row 2: row 0's window with the history reversed.
+        batch.pc[2 * T + k] = batch.pc[T - 1 - k];
+        batch.page[2 * T + k] = batch.page[T - 1 - k];
+        batch.offset[2 * T + k] = batch.offset[T - 1 - k];
+        // Row 3: a constant-page, descending-offset run.
+        batch.pc[3 * T + k] = batch.pc[T - 1];
+        batch.page[3 * T + k] = batch.page[0];
+        batch.offset[3 * T + k] =
+            static_cast<std::int32_t>(T - k);
+    }
+    const auto mixed = tabular.predict_tokens(batch, 4);
+    const auto pure = neural.predict_tokens(batch, 4);
+    ASSERT_EQ(mixed.size(), 4u);
+
+    StatRegistry reg;
+    tabular.export_stats(reg);
+    ASSERT_GT(reg.counter("distill.serve.l1_hits"), 0u);
+    ASSERT_GT(reg.counter("distill.serve.misses"), 0u);
+
+    // Fallback rows must be bit-identical to the pure neural rows.
+    // (Which rows missed is recomputed, not assumed.)
+    std::vector<core::TokenPrediction> probe_out;
+    std::size_t cold = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+        const auto lvl = table.probe(
+            batch.pc[b * T + T - 1], batch.page.data() + b * T,
+            batch.offset.data() + b * T, T, probe_out);
+        if (lvl != core::TabularTable::ProbeLevel::Miss)
+            continue;
+        ++cold;
+        ASSERT_EQ(mixed[b].size(), pure[b].size());
+        for (std::size_t j = 0; j < pure[b].size(); ++j) {
+            EXPECT_EQ(mixed[b][j].page, pure[b][j].page);
+            EXPECT_EQ(mixed[b][j].offset, pure[b][j].offset);
+            EXPECT_EQ(mixed[b][j].prob, pure[b][j].prob);
+        }
+    }
+    EXPECT_GE(cold, 1u);
+}
+
+}  // namespace
+}  // namespace voyager

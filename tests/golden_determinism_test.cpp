@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/trainer.hpp"
+#include "distill_fixture.hpp"
 #include "nn/ops.hpp"
 #include "prefetch/stms.hpp"
 #include "serve_fixture.hpp"
@@ -121,6 +122,23 @@ TEST(GoldenDeterminism, ServeTinyEmitsByteIdenticalDocuments)
     EXPECT_NE(first.find("serve.batch_size"), std::string::npos);
     EXPECT_NE(first.find("serve.queue_depth"), std::string::npos);
     EXPECT_NE(first.find("serve.wait_ticks"), std::string::npos);
+    EXPECT_EQ(first, second);
+}
+
+TEST(GoldenDeterminism, DistillTinyEmitsByteIdenticalDocuments)
+{
+    // The tabular frontier + serving leg is integer-only (stub
+    // teacher, CLOCK counters, exact-ratio hit rates), so two runs
+    // must emit the same bytes — the property
+    // tests/golden/distill_tiny.json pins across checkouts
+    // (DESIGN.md §5.18).
+    const std::string first = distill_test::run_distill_tiny();
+    const std::string second = distill_test::run_distill_tiny();
+    ASSERT_FALSE(first.empty());
+    EXPECT_NE(first.find("distill.table.bytes"), std::string::npos);
+    EXPECT_NE(first.find("distill.frontier.b512_h1.l1_entries"),
+              std::string::npos);
+    EXPECT_NE(first.find("distill.serve.probes"), std::string::npos);
     EXPECT_EQ(first, second);
 }
 

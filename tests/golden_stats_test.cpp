@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "distill_fixture.hpp"
 #include "nn/matrix.hpp"
 #include "nn/ops.hpp"
 #include "nn/qmatrix.hpp"
@@ -278,6 +279,17 @@ TEST(GoldenStats, ServeTinyMatchesCheckedInDocument)
     compare_against_golden(
         std::string(VOYAGER_GOLDEN_DIR) + "/serve_tiny.json",
         serve_test::run_serve_tiny());
+}
+
+TEST(GoldenStats, DistillTinyMatchesCheckedInDocument)
+{
+    // Every distill.* stat in this scenario is integer-derived
+    // (table geometry, probe outcomes, exact-ratio hit rates; see
+    // distill_fixture.hpp), so the frontier pins byte-exactly across
+    // build flavours.
+    compare_against_golden(
+        std::string(VOYAGER_GOLDEN_DIR) + "/distill_tiny.json",
+        distill_test::run_distill_tiny());
 }
 
 }  // namespace

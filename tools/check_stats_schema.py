@@ -190,6 +190,97 @@ def check_micro_hash(name, body, errors):
                       f"{body.get('kind')!r}")
 
 
+# The tabularized serving path's closed namespaces (DESIGN.md section
+# 5.18). `distill.table.*` comes from core::TabularTable::export_stats,
+# `distill.serve.*` from serve::TabularPredictor::export_stats, and
+# the remaining names from bench_distill: per-cell frontier stats
+# under `distill.frontier.b<budget>_h<backoff>.<leaf>` plus a handful
+# of top-level teacher/baseline/headline stats. The *_us_per_sample
+# and speedup gauges are wall-clock and registered volatile (absent
+# from golden documents).
+DISTILL_TABLE_STATS = {
+    "distill.table.budget_bytes": "counter",
+    "distill.table.bytes": "counter",
+    "distill.table.entry_bytes": "counter",
+    "distill.table.observations": "counter",
+    "distill.table.l1_entries": "counter",
+    "distill.table.l1_capacity": "counter",
+    "distill.table.l1_admits": "counter",
+    "distill.table.l1_evictions": "counter",
+    "distill.table.l2_entries": "counter",
+    "distill.table.l2_capacity": "counter",
+    "distill.table.l2_admits": "counter",
+    "distill.table.l2_evictions": "counter",
+}
+
+DISTILL_SERVE_STATS = {
+    "distill.serve.probes": "counter",
+    "distill.serve.l1_hits": "counter",
+    "distill.serve.l2_hits": "counter",
+    "distill.serve.misses": "counter",
+    "distill.serve.fallback_rows": "counter",
+    "distill.serve.fallback_batches": "counter",
+    "distill.serve.drift_events": "counter",
+    "distill.serve.drift_rows": "counter",
+    "distill.serve.tenants": "counter",
+    "distill.serve.hit_rate": "gauge",
+}
+
+DISTILL_FRONTIER_CELL = re.compile(r"^b[0-9]+_h[0-9]+$")
+DISTILL_FRONTIER_LEAVES = {
+    "budget_bytes": "counter",
+    "bytes": "counter",
+    "l1_entries": "counter",
+    "l2_entries": "counter",
+    "l1_hits": "counter",
+    "l2_hits": "counter",
+    "misses": "counter",
+    "hit_rate": "gauge",
+    "unified": "gauge",
+    "table_unified": "gauge",
+    "us_per_sample": "gauge",
+    "table_us_per_sample": "gauge",
+    "speedup_vs_int8": "gauge",
+}
+
+DISTILL_TOP_STATS = {
+    "distill.eval_samples": "counter",
+    "distill.teacher.unified": "gauge",
+    "distill.teacher.int8_unified": "gauge",
+    "distill.fp32_us_per_sample": "gauge",
+    "distill.int8_us_per_sample": "gauge",
+    "distill.best.speedup_vs_int8": "gauge",
+    "distill.best.unified": "gauge",
+    "distill.best.budget_bytes": "counter",
+}
+
+
+def check_distill(name, body, errors):
+    expected = None
+    if name.startswith("distill.table."):
+        expected = DISTILL_TABLE_STATS.get(name)
+    elif name.startswith("distill.serve."):
+        expected = DISTILL_SERVE_STATS.get(name)
+    elif name.startswith("distill.frontier."):
+        parts = name.split(".")
+        if (len(parts) == 4
+                and DISTILL_FRONTIER_CELL.match(parts[2])):
+            expected = DISTILL_FRONTIER_LEAVES.get(parts[3])
+    else:
+        expected = DISTILL_TOP_STATS.get(name)
+    if expected is None:
+        errors.append(
+            f"{name}: unknown distill stat (expected one of "
+            f"{sorted(DISTILL_TABLE_STATS)} + "
+            f"{sorted(DISTILL_SERVE_STATS)} + "
+            f"{sorted(DISTILL_TOP_STATS)}, or "
+            f"distill.frontier.b<budget>_h<backoff>.<leaf> with "
+            f"leaf in {sorted(DISTILL_FRONTIER_LEAVES)})")
+    elif isinstance(body, dict) and body.get("kind") != expected:
+        errors.append(f"{name}: must be a {expected}, got "
+                      f"{body.get('kind')!r}")
+
+
 COMPRESS_INT8_LEAVES = {
     "scale_min": "gauge",
     "scale_max": "gauge",
@@ -342,6 +433,8 @@ def check_document(doc, errors):
                               f"{body.get('kind')!r}")
         if name.startswith("micro_hash."):
             check_micro_hash(name, body, errors)
+        if name.startswith("distill."):
+            check_distill(name, body, errors)
         if name.startswith("transformer."):
             check_transformer(name, body, errors)
         if name.startswith("prefetch.stream_group."):

@@ -26,6 +26,9 @@ ctest --preset serve --output-on-failure
 echo "== release: ctest -L transformer =="
 ctest --preset transformer --output-on-failure
 
+echo "== release: ctest -L distill =="
+ctest --preset distill --output-on-failure
+
 echo "== asan-ubsan: configure + build =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j1
@@ -44,6 +47,9 @@ ctest --preset asan-serve --output-on-failure
 
 echo "== asan-ubsan: ctest -L transformer =="
 ctest --preset asan-transformer --output-on-failure
+
+echo "== asan-ubsan: ctest -L distill =="
+ctest --preset asan-distill --output-on-failure
 
 echo "== stats schema validation =="
 out=$(mktemp /tmp/voyager_stats.XXXXXX.json)
@@ -105,5 +111,25 @@ python3 tools/check_stats_schema.py "$xf_out"
 grep -q '"transformer.xf_decode.stream_group.acc"' "$xf_out"
 grep -q '"prefetch.stream_group.fast_tracks"' "$xf_out"
 rm -f "$xf_out"
+
+# Tabularized-serving smoke (DESIGN.md section 5.18): a tiny
+# budget x backoff sweep must run end to end — train the teacher,
+# distill, probe the frontier — and emit a schema-valid document
+# including the closed distill.* namespace. The ASan run drives the
+# probe/fallback hot path under instrumentation. Tiny caps keep both
+# fast; the >=10x speedup claim lives in the full bench_distill run.
+echo "== bench_distill smoke (release + asan) =="
+distill_out=$(mktemp /tmp/voyager_distill.XXXXXX.json)
+./build/bench/bench_distill --scale=tiny --epochs=1 --passes=1 \
+    --distill_train_samples=300 --max_samples=300 \
+    --distill_budgets=4096,65536 --distill_backoffs=1 \
+    --stats_json="$distill_out" >/dev/null
+python3 tools/check_stats_schema.py "$distill_out"
+grep -q '"distill.frontier.b65536_h1.hit_rate"' "$distill_out"
+grep -q '"distill.teacher.unified"' "$distill_out"
+rm -f "$distill_out"
+./build-asan/bench/bench_distill --scale=tiny --epochs=1 --passes=1 \
+    --distill_train_samples=150 --max_samples=150 \
+    --distill_budgets=16384 --distill_backoffs=1 >/dev/null
 
 echo "all gates passed"
