@@ -22,6 +22,22 @@
  *   --serve_train_samples=N  training-sample cap (default 2000)
  *   --engines=a,b,c          engine sweep (default fp32,int8,distilled)
  *   --distill_budget=N       tabular byte budget (default 262144)
+ *
+ * Overload-resilience flags (DESIGN.md §5.19):
+ *   --queue_cap=N            bounded queue capacity (default 256)
+ *   --deadline_ticks=N       per-request deadline budget (default 0 =
+ *                            none; the ladder run defaults to
+ *                            4*max_batch when left at 0)
+ *   --tenant_quota=N         max pending requests per tenant (0 = off)
+ *   --shed_policy=S          reject | drop_expired (default reject)
+ *   --degrade_window=N       ladder observation window (default 32)
+ *   --degrade                run the full degradation ladder
+ *                            fp32 -> int8 -> distilled -> heuristic
+ *   --chaos                  ladder run under a canned serve fault
+ *                            plan (stalls, floods, poison, misroute);
+ *                            skipped if --fault_plan already installed
+ *                            a plan. Exports the chaos run's serve.*
+ *                            document (overwriting the canonical one).
  */
 #include <chrono>
 #include <iostream>
@@ -33,9 +49,11 @@
 #include "common.hpp"
 #include "core/tabular.hpp"
 #include "serve/client.hpp"
+#include "serve/heuristic.hpp"
 #include "serve/predictor.hpp"
 #include "serve/server.hpp"
 #include "serve/tabular_predictor.hpp"
+#include "util/fault_injection.hpp"
 
 namespace {
 
@@ -84,6 +102,53 @@ serve_once(serve::TokenPredictor &pred, const core::Vocabulary &vocab,
     if (reg != nullptr)
         server.export_stats(*reg);
     return dt.count();
+}
+
+/** The --degrade/--chaos ladder run: serve every tenant through the
+ *  full fp32 -> int8 -> distilled -> heuristic ladder under `sc`,
+ *  print a resilience summary, and export the run's serve.* stats. */
+void
+run_ladder(core::VoyagerAdapter &adapter, const core::TabularTable &table,
+           std::size_t seq_len,
+           const std::vector<std::vector<sim::LlcAccess>> &slices,
+           std::uint32_t degree, const serve::ServeConfig &sc,
+           std::uint64_t seed, StatRegistry &reg)
+{
+    serve::AdapterPredictor neural(adapter);
+    serve::TabularPredictor tabular(table, neural);
+    serve::HeuristicEngine heuristic("stream_group", degree);
+    std::vector<serve::EngineRung> rungs;
+    rungs.push_back({"fp32", &neural, nullptr,
+                     [&] { adapter.disable_int8_inference(); }});
+    rungs.push_back({"int8", &neural, nullptr,
+                     [&] { adapter.enable_int8_inference(); }});
+    // The distilled rung probes the tables and falls back through the
+    // adapter's active engine; keep that engine int8 so the fallback
+    // stays on the cheap path.
+    rungs.push_back({"distilled", &tabular, nullptr,
+                     [&] { adapter.enable_int8_inference(); }});
+    rungs.push_back({"heuristic", nullptr, &heuristic, {}});
+
+    serve::PrefetchServer server(std::move(rungs), sc);
+    std::vector<serve::SimulatedClient> clients;
+    for (std::uint32_t t = 0;
+         t < static_cast<std::uint32_t>(slices.size()); ++t)
+        clients.emplace_back(t, slices[t], adapter.vocab(), seq_len,
+                             degree);
+    serve::run_interleaved(server, clients, seed);
+    adapter.disable_int8_inference();
+
+    std::size_t delivered = 0;
+    std::size_t shed = 0;
+    for (const auto &c : clients) {
+        delivered += c.responses().size();
+        shed += c.shed().size();
+    }
+    std::cout << "ladder run: " << delivered << " responses, " << shed
+              << " shed, final rung " << server.rung() << " ("
+              << server.rung_name() << ")\n";
+    server.export_stats(reg);
+    export_fault_stats(reg);
 }
 
 }  // namespace
@@ -221,6 +286,39 @@ main(int argc, char **argv)
         table.export_stats(ctx.stats());
         tabular.export_stats(ctx.stats());
         break;
+    }
+
+    // Overload-resilience ladder run (DESIGN.md §5.19). --chaos also
+    // installs a canned serve-path fault plan — predictor stalls, a
+    // flooding tenant, poisoned logits and misrouted responses — so
+    // the ladder actually degrades; its serve.* export overwrites the
+    // canonical one above (the chaos run is the document of record).
+    const bool degrade = ctx.raw().get_bool("degrade", false);
+    const bool chaos = ctx.raw().get_bool("chaos", false);
+    if (degrade || chaos) {
+        serve::ServeConfig sc;
+        sc.max_batch = batches.back();
+        sc.queue_cap = ctx.raw().get_uint("queue_cap", 256);
+        sc.deadline_ticks = ctx.raw().get_uint("deadline_ticks", 0);
+        if (sc.deadline_ticks == 0)
+            sc.deadline_ticks = 4 * sc.max_batch;
+        sc.tenant_quota = ctx.raw().get_uint("tenant_quota", 0);
+        if (ctx.raw().get_string("shed_policy", "reject") ==
+            "drop_expired")
+            sc.shed_policy = serve::ShedPolicy::DropExpired;
+        sc.degrade.window = static_cast<std::uint32_t>(
+            ctx.raw().get_uint("degrade_window", 32));
+        if (chaos && !fault_injector().enabled())
+            fault_injector().install(FaultPlan::parse(
+                "serve_stall@batch=2:every=5:x=24;"
+                "serve_flood@submit=7:every=16:x=12;"
+                "serve_poison@batch=3:every=9;"
+                "serve_misroute@response=5:every=17;"
+                "seed=9"));
+        // The plan stays installed through process exit so the final
+        // stats document records the injected-fault counters.
+        run_ladder(adapter, table, vc.seq_len, slices, degree, sc,
+                   ctx.seed(), ctx.stats());
     }
     return ctx.exit_code();
 }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/fault_injection.hpp"
 #include "util/flat_hash.hpp"
 
 namespace voyager::serve {
@@ -49,6 +50,7 @@ SimulatedClient::next_request()
     req.page = win_page_;
     req.offset = win_offset_;
     req.prev_line = a.line;
+    req.raw_pc = a.pc;
     req.degree = degree_;
     ++pos_;
     return req;
@@ -88,12 +90,23 @@ run_interleaved(PrefetchServer &server,
     while (!live.empty()) {
         const std::size_t pick = rng.next_below(live.size());
         SimulatedClient &c = clients[live[pick]];
-        server.submit(c.next_request());
+        // An injected ServeFlood fault turns this pick into a burst:
+        // the picked client fires extra back-to-back submits, modeling
+        // a tenant suddenly hammering the server. Clean runs have
+        // burst == 1 and behave exactly as before.
+        const std::uint64_t burst = 1 + fault_injector().on_serve_submit();
+        for (std::uint64_t b = 0; b < burst && !c.done(); ++b) {
+            PrefetchRequest req = c.next_request();
+            const std::uint64_t seq = req.seq;
+            if (server.submit(std::move(req)) !=
+                SubmitResult::Accepted)
+                c.record_shed(seq);
+            route(server.take_ready());
+        }
         if (c.done()) {
             live[pick] = live.back();
             live.pop_back();
         }
-        route(server.take_ready());
     }
     server.flush();
     route(server.take_ready());

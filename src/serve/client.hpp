@@ -56,6 +56,14 @@ class SimulatedClient
         responses_.push_back(std::move(resp));
     }
 
+    /** Record a shed (rejected) submit — the server's backpressure
+     *  signal; no response will ever arrive for `seq`. */
+    void
+    record_shed(std::uint64_t seq)
+    {
+        shed_.push_back(seq);
+    }
+
     std::uint32_t tenant() const { return tenant_; }
     std::size_t issued() const { return pos_; }
     const std::vector<sim::LlcAccess> &stream() const { return stream_; }
@@ -63,6 +71,8 @@ class SimulatedClient
     {
         return responses_;
     }
+    /** Seq numbers of requests the server shed at admission. */
+    const std::vector<std::uint64_t> &shed() const { return shed_; }
 
   private:
     std::uint32_t tenant_;
@@ -76,6 +86,7 @@ class SimulatedClient
     std::vector<std::int32_t> win_page_;
     std::vector<std::int32_t> win_offset_;
     std::vector<PrefetchResponse> responses_;
+    std::vector<std::uint64_t> shed_;
 };
 
 /**
@@ -85,6 +96,12 @@ class SimulatedClient
  * The predicted lines of every (tenant, seq) pair depend only on that
  * tenant's own request stream — not on `seed`, which merely reshapes
  * batches and wait times — pinned by batch_equivalence_test.
+ *
+ * Backpressure: shed submits are recorded on the issuing client via
+ * record_shed, so every issued request is accounted for either as a
+ * response or as a shed (the chaos suite pins responses + shed ==
+ * issued). An injected ServeFlood fault turns one scheduling pick
+ * into a burst of submits from the picked client (DESIGN.md §5.19).
  */
 void run_interleaved(PrefetchServer &server,
                      std::vector<SimulatedClient> &clients,

@@ -5,10 +5,16 @@
  * reordering, no priorities — which is what makes batched serving
  * reproducible under any client interleaving: the same submit sequence
  * always forms the same batches.
+ *
+ * The queue is bounded (DESIGN.md §5.19): past `capacity` pending
+ * requests push() returns a typed rejection instead of growing without
+ * limit, and drop_expired() lets the server's DropExpired shed policy
+ * evict past-deadline requests to make room before rejecting.
  */
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -16,15 +22,33 @@
 
 namespace voyager::serve {
 
-/** FIFO queue of pending PrefetchRequests. */
+/** push() outcome: admitted to the queue, or shed at the door. */
+enum class QueueAdmit : std::uint8_t
+{
+    Admitted = 0,
+    Rejected = 1,  ///< queue at capacity; the request was not enqueued
+};
+
+/** Bounded FIFO queue of pending PrefetchRequests. */
 class RequestQueue
 {
   public:
-    /** Append a request in arrival order. */
-    void
+    /** @param capacity max pending requests; 0 = unbounded. */
+    explicit RequestQueue(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {}
+
+    /**
+     * Append a request in arrival order. @return Rejected (and leaves
+     * the queue untouched) when the queue is at capacity.
+     */
+    QueueAdmit
     push(PrefetchRequest req)
     {
+        if (full())
+            return QueueAdmit::Rejected;
         pending_.push_back(std::move(req));
+        return QueueAdmit::Admitted;
     }
 
     /**
@@ -43,11 +67,41 @@ class RequestQueue
         return taken;
     }
 
+    /**
+     * Move every request whose deadline has passed at `now` into `out`
+     * (appended, arrival order), keeping the relative order of the
+     * survivors. Requests with deadline_tick == 0 never expire.
+     * @return how many were dropped.
+     */
+    std::size_t
+    drop_expired(std::uint64_t now, std::vector<PrefetchRequest> &out)
+    {
+        std::size_t dropped = 0;
+        std::deque<PrefetchRequest> kept;
+        for (auto &req : pending_) {
+            if (req.deadline_tick != 0 && now > req.deadline_tick) {
+                out.push_back(std::move(req));
+                ++dropped;
+            } else {
+                kept.push_back(std::move(req));
+            }
+        }
+        pending_.swap(kept);
+        return dropped;
+    }
+
     std::size_t depth() const { return pending_.size(); }
     bool empty() const { return pending_.empty(); }
+    /** True when one more push() would be rejected. */
+    bool full() const
+    {
+        return capacity_ != 0 && pending_.size() >= capacity_;
+    }
+    std::size_t capacity() const { return capacity_; }
 
   private:
     std::deque<PrefetchRequest> pending_;
+    std::size_t capacity_ = 0;
 };
 
 }  // namespace voyager::serve

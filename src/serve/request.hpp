@@ -34,10 +34,16 @@ struct PrefetchRequest
     std::vector<std::int32_t> offset;
     /** Line of the newest access in the window (delta-decode base). */
     Addr prev_line = 0;
+    /** Raw PC of the newest access — heuristic-rung training context
+     *  (DESIGN.md §5.19); 0 when the client has no PC to offer. */
+    Addr raw_pc = 0;
     /** How many distinct prefetch lines the tenant wants back. */
     std::uint32_t degree = 1;
     /** Virtual arrival time, stamped by the server at submit(). */
     std::uint64_t arrival_tick = 0;
+    /** Virtual tick the answer stops being useful (0 = no deadline),
+     *  stamped by the server as arrival_tick + cfg.deadline_ticks. */
+    std::uint64_t deadline_tick = 0;
 };
 
 /** The dispatcher's answer to one PrefetchRequest. */
@@ -51,6 +57,12 @@ struct PrefetchResponse
     std::uint32_t batch_rows = 0;
     /** Virtual submit-to-dispatch latency (ticks = submits). */
     std::uint64_t wait_ticks = 0;
+    /** True when the request's deadline passed before dispatch; the
+     *  response carries no lines (DESIGN.md §5.19). */
+    bool expired = false;
+    /** Index of the degradation-ladder rung that answered (0 = the
+     *  full-quality engine); 0 for expired responses too. */
+    std::uint32_t rung = 0;
 };
 
 }  // namespace voyager::serve

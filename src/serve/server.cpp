@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/fault_injection.hpp"
 
 namespace voyager::serve {
 
@@ -14,28 +18,88 @@ constexpr std::size_t kBatchHistBuckets = 65;
 constexpr double kTickHistHi = 256.0;
 constexpr std::size_t kTickHistBuckets = 64;
 
+/** First rung carrying a predictor (the batcher's seq_len source). */
+TokenPredictor &
+first_predictor(const std::vector<EngineRung> &rungs)
+{
+    for (const EngineRung &r : rungs)
+        if (r.predictor)
+            return *r.predictor;
+    assert(!"ladder has no predictor rung");
+    return *rungs.front().predictor;
+}
+
+/** Is the request past its deadline at virtual time `now`? */
+bool
+is_expired(const PrefetchRequest &r, std::uint64_t now)
+{
+    return r.deadline_tick != 0 && now > r.deadline_tick;
+}
+
 }  // namespace
 
 PrefetchServer::PrefetchServer(TokenPredictor &predictor,
                                const ServeConfig &cfg)
-    : predictor_(predictor), cfg_(cfg), batcher_(predictor.seq_len()),
-      batch_size_hist_(0.0, kBatchHistHi, kBatchHistBuckets),
-      queue_depth_hist_(0.0, kTickHistHi, kTickHistBuckets),
-      wait_ticks_hist_(0.0, kTickHistHi, kTickHistBuckets)
+    : PrefetchServer(
+          std::vector<EngineRung>{{predictor.engine(), &predictor,
+                                   nullptr, {}}},
+          cfg)
 {
-    assert(cfg_.max_batch > 0);
 }
 
-void
+PrefetchServer::PrefetchServer(std::vector<EngineRung> rungs,
+                               const ServeConfig &cfg)
+    : rungs_(std::move(rungs)), cfg_(cfg),
+      batcher_(first_predictor(rungs_).seq_len()),
+      queue_(cfg.queue_cap), monitor_(cfg.degrade),
+      rung_responses_(rungs_.size(), 0),
+      rung_deadline_miss_(rungs_.size(), 0),
+      batch_size_hist_(0.0, kBatchHistHi, kBatchHistBuckets),
+      queue_depth_hist_(0.0, kTickHistHi, kTickHistBuckets),
+      wait_ticks_hist_(0.0, kTickHistHi, kTickHistBuckets),
+      deadline_slack_hist_(0.0, kTickHistHi, kTickHistBuckets)
+{
+    assert(cfg_.max_batch > 0);
+    assert(!rungs_.empty());
+#ifndef NDEBUG
+    for (const EngineRung &r : rungs_) {
+        assert((r.predictor != nullptr) != (r.heuristic != nullptr));
+        if (r.predictor)
+            assert(r.predictor->seq_len() == batcher_.seq_len());
+    }
+#endif
+    if (rungs_[rung_].on_activate)
+        rungs_[rung_].on_activate();
+}
+
+SubmitResult
 PrefetchServer::submit(PrefetchRequest req)
 {
     req.arrival_tick = tick_++;
+    if (cfg_.deadline_ticks != 0)
+        req.deadline_tick = req.arrival_tick + cfg_.deadline_ticks;
     ++n_requests_;
     tenants_.insert(req.tenant);
-    queue_.push(std::move(req));
+    const std::uint32_t tenant = req.tenant;
+
+    if (cfg_.tenant_quota != 0) {
+        const auto it = pending_by_tenant_.find(tenant);
+        if (it != pending_by_tenant_.end() &&
+            it->second >= cfg_.tenant_quota) {
+            ++n_shed_quota_;
+            return SubmitResult::ShedQuota;
+        }
+    }
+    if (queue_.full() && cfg_.shed_policy == ShedPolicy::DropExpired)
+        expire_queued();
+    if (queue_.push(std::move(req)) == QueueAdmit::Rejected) {
+        ++n_shed_;
+        return SubmitResult::ShedCapacity;
+    }
+    ++pending_by_tenant_[tenant];
     queue_depth_hist_.add(static_cast<double>(queue_.depth()));
-    if (queue_.depth() >= cfg_.max_batch)
-        dispatch_batch();
+    maybe_dispatch();
+    return SubmitResult::Accepted;
 }
 
 void
@@ -55,6 +119,16 @@ PrefetchServer::take_ready()
 }
 
 void
+PrefetchServer::maybe_dispatch()
+{
+    // The stall window holds the dispatcher, so the queue backs up
+    // exactly like a hung predictor would make it: depth climbs,
+    // deadlines expire, the bound eventually sheds.
+    while (!stalled() && queue_.depth() >= cfg_.max_batch)
+        dispatch_batch();
+}
+
+void
 PrefetchServer::dispatch_batch()
 {
     batch_reqs_.clear();
@@ -62,29 +136,107 @@ PrefetchServer::dispatch_batch()
     if (batch_reqs_.empty())
         return;
 
-    n_padded_rows_ += batcher_.pack(batch_reqs_, batch_);
     batch_size_hist_.add(static_cast<double>(batch_reqs_.size()));
     ++n_batches_;
 
-    // One candidate budget for the whole batch: the largest degree
-    // plus the over-fetch slack (predict_on's degree + 2 when every
-    // tenant asks the same degree).
-    std::uint32_t max_degree = 0;
-    batch_tenants_.clear();
+    // Partition expired rows out of the forward. The common (clean)
+    // case has none: the whole batch is packed in place, zero copies.
+    bool any_expired = false;
     for (const PrefetchRequest &r : batch_reqs_) {
-        max_degree = std::max(max_degree, r.degree);
-        batch_tenants_.push_back(r.tenant);
+        --pending_by_tenant_[r.tenant];
+        if (is_expired(r, tick_))
+            any_expired = true;
+    }
+    const std::vector<PrefetchRequest> *live = &batch_reqs_;
+    if (any_expired) {
+        live_reqs_.clear();
+        for (const PrefetchRequest &r : batch_reqs_)
+            if (!is_expired(r, tick_))
+                live_reqs_.push_back(r);
+        live = &live_reqs_;
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto preds = predictor_.predict_tokens_for(
-        batch_, max_degree + cfg_.over_fetch, batch_tenants_);
-    forward_seconds_ += std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+    // Shadow-warm the heuristic rung on every live row so a later
+    // step-down lands on warm per-tenant tables (DESIGN.md §5.19).
+    HeuristicEngine *heur = nullptr;
+    for (const EngineRung &er : rungs_)
+        if (er.heuristic) {
+            heur = er.heuristic;
+            break;
+        }
+    heur_lines_.clear();
+    if (heur)
+        for (const PrefetchRequest &r : *live)
+            heur_lines_.push_back(heur->observe(r));
 
-    for (std::size_t b = 0; b < batch_reqs_.size(); ++b) {
-        const PrefetchRequest &r = batch_reqs_[b];
+    // Run the ladder from the active rung down until an engine
+    // produces a valid answer for this batch.
+    std::vector<std::vector<core::TokenPrediction>> preds;
+    bool have_preds = false;
+    std::size_t answer = rungs_.size();
+    if (!live->empty()) {
+        const ServeBatchFaults faults =
+            fault_injector().on_serve_batch();
+        if (faults.stall_ticks != 0) {
+            stalled_until_ =
+                std::max(stalled_until_, tick_ + faults.stall_ticks);
+            n_stall_ticks_ += faults.stall_ticks;
+            ++n_predictor_faults_;
+            monitor_.on_fault();
+        }
+
+        std::uint32_t max_degree = 0;
+        batch_tenants_.clear();
+        for (const PrefetchRequest &r : *live) {
+            max_degree = std::max(max_degree, r.degree);
+            batch_tenants_.push_back(r.tenant);
+        }
+        n_padded_rows_ += batcher_.pack(*live, batch_);
+
+        bool first_attempt = true;
+        for (std::size_t a = rung_; a < rungs_.size(); ++a) {
+            if (rungs_[a].heuristic) {
+                // The terminal rung cannot fault: table probes always
+                // produce (possibly empty) candidate lists.
+                answer = a;
+                break;
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            preds = rungs_[a].predictor->predict_tokens_for(
+                batch_, max_degree + cfg_.over_fetch, batch_tenants_);
+            forward_seconds_ +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (first_attempt && faults.poison)
+                for (auto &row : preds)
+                    for (auto &p : row) {
+                        p.page = -1;
+                        p.offset = 0;
+                        p.prob =
+                            std::numeric_limits<float>::quiet_NaN();
+                    }
+            first_attempt = false;
+            bool ok = true;
+            for (const auto &row : preds)
+                for (const auto &p : row)
+                    if (!std::isfinite(p.prob))
+                        ok = false;
+            if (ok) {
+                answer = a;
+                have_preds = true;
+                break;
+            }
+            ++n_predictor_faults_;
+            monitor_.on_fault();
+        }
+        if (answer == rungs_.size())
+            answer = rungs_.size() - 1;  // every engine faulted
+    }
+
+    // Assemble responses in batch (arrival) order.
+    std::size_t li = 0;
+    for (const PrefetchRequest &r : batch_reqs_) {
         PrefetchResponse resp;
         resp.tenant = r.tenant;
         resp.seq = r.seq;
@@ -92,22 +244,103 @@ PrefetchServer::dispatch_batch()
             static_cast<std::uint32_t>(batch_reqs_.size());
         resp.wait_ticks = tick_ - r.arrival_tick;
         wait_ticks_hist_.add(static_cast<double>(resp.wait_ticks));
-        // The predict_on decode loop: over-fetched candidates in rank
-        // order, skip undecodable, dedup, stop at the tenant's degree.
-        for (const auto &p : preds[b]) {
-            if (resp.lines.size() >= r.degree)
-                break;
-            const auto line =
-                predictor_.decode(p.page, p.offset, r.prev_line);
-            if (!line)
-                continue;
-            if (std::find(resp.lines.begin(), resp.lines.end(),
-                          *line) == resp.lines.end())
-                resp.lines.push_back(*line);
+        if (is_expired(r, tick_)) {
+            resp.expired = true;
+            resp.rung = static_cast<std::uint32_t>(rung_);
+            ++n_expired_rows_;
+            emit_response(std::move(resp), r.tenant,
+                          /*deadline_miss=*/true);
+            continue;
+        }
+        resp.rung = static_cast<std::uint32_t>(answer);
+        if (rungs_[answer].heuristic) {
+            resp.lines = std::move(heur_lines_[li]);
+        } else if (have_preds) {
+            // The predict_on decode loop: over-fetched candidates in
+            // rank order, skip undecodable, dedup, stop at the
+            // tenant's degree.
+            for (const auto &p : preds[li]) {
+                if (resp.lines.size() >= r.degree)
+                    break;
+                const auto line = rungs_[answer].predictor->decode(
+                    p.page, p.offset, r.prev_line);
+                if (!line)
+                    continue;
+                if (std::find(resp.lines.begin(), resp.lines.end(),
+                              *line) == resp.lines.end())
+                    resp.lines.push_back(*line);
+            }
         }
         n_lines_ += resp.lines.size();
-        ++n_responses_;
-        ready_.push_back(std::move(resp));
+        if (r.deadline_tick != 0) {
+            ++n_deadline_met_;
+            deadline_slack_hist_.add(
+                static_cast<double>(r.deadline_tick - tick_));
+        }
+        emit_response(std::move(resp), r.tenant,
+                      /*deadline_miss=*/false);
+        ++li;
+    }
+}
+
+std::size_t
+PrefetchServer::expire_queued()
+{
+    live_reqs_.clear();
+    queue_.drop_expired(tick_, live_reqs_);
+    for (const PrefetchRequest &r : live_reqs_) {
+        --pending_by_tenant_[r.tenant];
+        PrefetchResponse resp;
+        resp.tenant = r.tenant;
+        resp.seq = r.seq;
+        resp.wait_ticks = tick_ - r.arrival_tick;
+        resp.expired = true;
+        resp.rung = static_cast<std::uint32_t>(rung_);
+        ++n_dropped_expired_;
+        emit_response(std::move(resp), r.tenant,
+                      /*deadline_miss=*/true);
+    }
+    const std::size_t dropped = live_reqs_.size();
+    live_reqs_.clear();
+    return dropped;
+}
+
+void
+PrefetchServer::emit_response(PrefetchResponse resp,
+                              std::uint32_t issuer, bool deadline_miss)
+{
+    // Misroute fault: the injector may corrupt the routing tenant id;
+    // the server still holds the issuing request, so it cross-checks
+    // and repairs before the response leaves the dispatcher.
+    if (fault_injector().corrupt_serve_route(resp.tenant) &&
+        resp.tenant != issuer) {
+        resp.tenant = issuer;
+        ++n_misroutes_repaired_;
+    }
+    ++rung_responses_[resp.rung];
+    if (deadline_miss) {
+        ++n_deadline_miss_;
+        ++rung_deadline_miss_[resp.rung];
+    }
+    ++n_responses_;
+    apply_verdict(monitor_.on_response(deadline_miss));
+    ready_.push_back(std::move(resp));
+}
+
+void
+PrefetchServer::apply_verdict(DegradeVerdict verdict)
+{
+    if (verdict == DegradeVerdict::StepDown &&
+        rung_ + 1 < rungs_.size()) {
+        ++rung_;
+        ++n_steps_down_;
+        if (rungs_[rung_].on_activate)
+            rungs_[rung_].on_activate();
+    } else if (verdict == DegradeVerdict::StepUp && rung_ > 0) {
+        --rung_;
+        ++n_steps_up_;
+        if (rungs_[rung_].on_activate)
+            rungs_[rung_].on_activate();
     }
 }
 
@@ -121,12 +354,32 @@ PrefetchServer::export_stats(StatRegistry &reg) const
     reg.counter("serve.padded_rows") = n_padded_rows_;
     reg.counter("serve.lines") = n_lines_;
     reg.counter("serve.tenants") = tenants_.size();
+    reg.counter("serve.queue.cap") = queue_.capacity();
+    reg.counter("serve.queue.shed") = n_shed_;
+    reg.counter("serve.queue.shed_quota") = n_shed_quota_;
+    reg.counter("serve.queue.dropped_expired") = n_dropped_expired_;
+    reg.counter("serve.expired_rows") = n_expired_rows_;
+    reg.counter("serve.deadline.miss") = n_deadline_miss_;
+    reg.counter("serve.deadline.met") = n_deadline_met_;
+    reg.counter("serve.stall_ticks") = n_stall_ticks_;
+    reg.counter("serve.misroutes_repaired") = n_misroutes_repaired_;
+    reg.gauge("serve.degrade.rung") = static_cast<double>(rung_);
+    reg.counter("serve.degrade.steps_down") = n_steps_down_;
+    reg.counter("serve.degrade.steps_up") = n_steps_up_;
+    reg.counter("serve.degrade.predictor_faults") = n_predictor_faults_;
+    for (std::size_t i = 0; i < rungs_.size(); ++i) {
+        const std::string pfx = "serve.degrade." + rungs_[i].name;
+        reg.counter(pfx + ".responses") = rung_responses_[i];
+        reg.counter(pfx + ".deadline_miss") = rung_deadline_miss_[i];
+    }
     reg.histogram("serve.batch_size", 0.0, kBatchHistHi,
                   kBatchHistBuckets) = batch_size_hist_;
     reg.histogram("serve.queue_depth", 0.0, kTickHistHi,
                   kTickHistBuckets) = queue_depth_hist_;
     reg.histogram("serve.wait_ticks", 0.0, kTickHistHi,
                   kTickHistBuckets) = wait_ticks_hist_;
+    reg.histogram("serve.deadline.slack", 0.0, kTickHistHi,
+                  kTickHistBuckets) = deadline_slack_hist_;
     reg.gauge("serve.forward.seconds", /*volatile_stat=*/true) =
         forward_seconds_;
     reg.counter("serve.forward.count", /*volatile_stat=*/true) =

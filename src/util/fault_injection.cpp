@@ -25,6 +25,10 @@ constexpr KindName kKindNames[] = {
     {FaultKind::IoFailRename, "io_fail"},
     {FaultKind::TraceCorrupt, "trace_corrupt"},
     {FaultKind::TraceTruncate, "trace_truncate"},
+    {FaultKind::ServeStall, "serve_stall"},
+    {FaultKind::ServePoison, "serve_poison"},
+    {FaultKind::ServeFlood, "serve_flood"},
+    {FaultKind::ServeMisroute, "serve_misroute"},
 };
 
 const char *
@@ -100,7 +104,8 @@ FaultPlan::parse(const std::string &spec)
                 "fault plan: site '" + entry + "' has no event index");
         const auto [key, value] = split_kv(trim(opts[0]));
         if (key != "step" && key != "epoch" && key != "write" &&
-            key != "byte" && key != "record" && key != "at")
+            key != "byte" && key != "record" && key != "batch" &&
+            key != "submit" && key != "response" && key != "at")
             throw std::invalid_argument(
                 "fault plan: unknown event key '" + key + "'");
         site.at = parse_u64(value, "event index");
@@ -182,6 +187,10 @@ export_fault_stats(StatRegistry &reg)
     reg.counter("fault.injected_loss_spike") = s.injected_loss_spike;
     reg.counter("fault.injected_io") = s.injected_io;
     reg.counter("fault.injected_trace") = s.injected_trace;
+    reg.counter("fault.serve.stalls") = s.serve_stalls;
+    reg.counter("fault.serve.poisoned") = s.serve_poisoned;
+    reg.counter("fault.serve.floods") = s.serve_floods;
+    reg.counter("fault.serve.misroutes") = s.serve_misroutes;
 }
 
 void
@@ -191,6 +200,9 @@ FaultInjector::install(const FaultPlan &plan)
     fired_.assign(plan_.sites.size(), 0);
     opt_steps_ = 0;
     writes_ = 0;
+    serve_batches_ = 0;
+    serve_submits_ = 0;
+    serve_responses_ = 0;
     fault_stats().reset();
     fault_stats().plan_sites = plan_.sites.size();
 }
@@ -307,6 +319,71 @@ FaultInjector::corrupt_bytes(std::string &bytes)
             ++fault_stats().injected_trace;
             any = true;
         }
+    }
+    return any;
+}
+
+ServeBatchFaults
+FaultInjector::on_serve_batch()
+{
+    ServeBatchFaults out;
+    if (!enabled())
+        return out;
+    const std::uint64_t ev = serve_batches_++;
+    for (std::size_t i = 0; i < plan_.sites.size(); ++i) {
+        const FaultKind k = plan_.sites[i].kind;
+        if (k != FaultKind::ServeStall && k != FaultKind::ServePoison)
+            continue;
+        if (!site_fires(i, ev))
+            continue;
+        if (k == FaultKind::ServeStall) {
+            out.stall_ticks +=
+                static_cast<std::uint64_t>(plan_.sites[i].magnitude);
+            ++fault_stats().serve_stalls;
+        } else {
+            out.poison = true;
+            ++fault_stats().serve_poisoned;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+FaultInjector::on_serve_submit()
+{
+    if (!enabled())
+        return 0;
+    const std::uint64_t ev = serve_submits_++;
+    std::uint64_t burst = 0;
+    for (std::size_t i = 0; i < plan_.sites.size(); ++i) {
+        if (plan_.sites[i].kind != FaultKind::ServeFlood)
+            continue;
+        if (!site_fires(i, ev))
+            continue;
+        burst += static_cast<std::uint64_t>(plan_.sites[i].magnitude);
+        ++fault_stats().serve_floods;
+    }
+    return burst;
+}
+
+bool
+FaultInjector::corrupt_serve_route(std::uint32_t &tenant)
+{
+    if (!enabled())
+        return false;
+    const std::uint64_t ev = serve_responses_++;
+    bool any = false;
+    for (std::size_t i = 0; i < plan_.sites.size(); ++i) {
+        if (plan_.sites[i].kind != FaultKind::ServeMisroute)
+            continue;
+        if (!site_fires(i, ev))
+            continue;
+        // XOR with a seed-derived non-zero mask: deterministic, and
+        // always changes the id so the server's repair path is
+        // observable.
+        tenant ^= static_cast<std::uint32_t>(1 + plan_.seed % 7);
+        ++fault_stats().serve_misroutes;
+        any = true;
     }
     return any;
 }

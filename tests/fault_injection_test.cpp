@@ -424,6 +424,116 @@ TEST_F(TraceCorruptTest, CorruptedBlobFailsLoudlyOrResyncs)
 }
 
 // ---------------------------------------------------------------------
+// Serve-path faults (DESIGN.md §5.19)
+// ---------------------------------------------------------------------
+
+TEST_F(FaultPlanTest, ParsesServeKindsAndRoundTrips)
+{
+    const auto plan = FaultPlan::parse(
+        "serve_stall@batch=2:every=5:x=24;serve_flood@submit=7:x=12;"
+        "serve_poison@batch=3;serve_misroute@response=5:every=17;"
+        "seed=9");
+    ASSERT_EQ(plan.sites.size(), 4u);
+    EXPECT_EQ(plan.sites[0].kind, FaultKind::ServeStall);
+    EXPECT_EQ(plan.sites[0].at, 2u);
+    EXPECT_EQ(plan.sites[0].every, 5u);
+    EXPECT_DOUBLE_EQ(plan.sites[0].magnitude, 24.0);
+    EXPECT_EQ(plan.sites[1].kind, FaultKind::ServeFlood);
+    EXPECT_DOUBLE_EQ(plan.sites[1].magnitude, 12.0);
+    EXPECT_EQ(plan.sites[2].kind, FaultKind::ServePoison);
+    EXPECT_EQ(plan.sites[3].kind, FaultKind::ServeMisroute);
+    EXPECT_EQ(plan.sites[3].every, 17u);
+
+    const auto again = FaultPlan::parse(plan.to_string());
+    EXPECT_EQ(again.sites, plan.sites);
+    EXPECT_EQ(again.to_string(), plan.to_string());
+    EXPECT_NE(plan.fingerprint(),
+              FaultPlan::parse("serve_stall@batch=2:every=5:x=25")
+                  .fingerprint());
+}
+
+TEST_F(FaultInjectorTest, ServeBatchHooksFireDeterministically)
+{
+    fault_injector().install(FaultPlan::parse(
+        "serve_stall@batch=1:every=2:x=10;serve_poison@batch=2"));
+    std::vector<std::uint64_t> stalls;
+    std::vector<bool> poisons;
+    for (int i = 0; i < 6; ++i) {
+        const auto f = fault_injector().on_serve_batch();
+        stalls.push_back(f.stall_ticks);
+        poisons.push_back(f.poison);
+    }
+    EXPECT_EQ(stalls,
+              (std::vector<std::uint64_t>{0, 10, 0, 10, 0, 10}));
+    EXPECT_EQ(poisons, (std::vector<bool>{
+                           false, false, true, false, false, false}));
+    EXPECT_EQ(fault_stats().serve_stalls, 3u);
+    EXPECT_EQ(fault_stats().serve_poisoned, 1u);
+}
+
+TEST_F(FaultInjectorTest, ServeFloodBurstsAtItsStride)
+{
+    fault_injector().install(
+        FaultPlan::parse("serve_flood@submit=1:every=3:x=5"));
+    std::vector<std::uint64_t> bursts;
+    for (int i = 0; i < 7; ++i)
+        bursts.push_back(fault_injector().on_serve_submit());
+    EXPECT_EQ(bursts,
+              (std::vector<std::uint64_t>{0, 5, 0, 0, 5, 0, 0}));
+    EXPECT_EQ(fault_stats().serve_floods, 2u);
+}
+
+TEST_F(FaultInjectorTest, ServeMisrouteIsSeededAndRepairable)
+{
+    fault_injector().install(
+        FaultPlan::parse("serve_misroute@response=0;seed=11"));
+    std::uint32_t tenant = 3;
+    // Mask is 1 + 11 % 7 = 5, so 3 ^ 5 = 6: always a different id.
+    EXPECT_TRUE(fault_injector().corrupt_serve_route(tenant));
+    EXPECT_EQ(tenant, 6u);
+    // One-shot: the next response routes cleanly.
+    EXPECT_FALSE(fault_injector().corrupt_serve_route(tenant));
+    EXPECT_EQ(tenant, 6u);
+    EXPECT_EQ(fault_stats().serve_misroutes, 1u);
+
+    // Reinstalling replays the identical corruption.
+    fault_injector().install(
+        FaultPlan::parse("serve_misroute@response=0;seed=11"));
+    std::uint32_t again = 3;
+    EXPECT_TRUE(fault_injector().corrupt_serve_route(again));
+    EXPECT_EQ(again, 6u);
+}
+
+TEST_F(FaultInjectorTest, DisabledServeHooksAreNoOps)
+{
+    EXPECT_FALSE(fault_injector().enabled());
+    const auto f = fault_injector().on_serve_batch();
+    EXPECT_EQ(f.stall_ticks, 0u);
+    EXPECT_FALSE(f.poison);
+    EXPECT_EQ(fault_injector().on_serve_submit(), 0u);
+    std::uint32_t tenant = 9;
+    EXPECT_FALSE(fault_injector().corrupt_serve_route(tenant));
+    EXPECT_EQ(tenant, 9u);
+}
+
+TEST_F(FaultInjectorTest, ExportsServeFaultCounters)
+{
+    fault_injector().install(FaultPlan::parse(
+        "serve_stall@batch=0:x=4;serve_flood@submit=0:x=2;"
+        "serve_misroute@response=0"));
+    (void)fault_injector().on_serve_batch();
+    (void)fault_injector().on_serve_submit();
+    std::uint32_t tenant = 1;
+    (void)fault_injector().corrupt_serve_route(tenant);
+    StatRegistry reg;
+    export_fault_stats(reg);
+    EXPECT_EQ(reg.counter("fault.serve.stalls"), 1u);
+    EXPECT_EQ(reg.counter("fault.serve.floods"), 1u);
+    EXPECT_EQ(reg.counter("fault.serve.misroutes"), 1u);
+    EXPECT_EQ(reg.counter("fault.serve.poisoned"), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Stats export
 // ---------------------------------------------------------------------
 

@@ -125,6 +125,23 @@ TEST(GoldenDeterminism, ServeTinyEmitsByteIdenticalDocuments)
     EXPECT_EQ(first, second);
 }
 
+TEST(GoldenDeterminism, ServeChaosTinyEmitsByteIdenticalDocuments)
+{
+    // The chaos scenario replays a seeded fault plan (stalls, floods,
+    // poisoned logits, misroutes) through the bounded deadline/quota/
+    // ladder serve path; the injector is reinstalled from the same
+    // plan each run, so two runs must emit the same bytes — the
+    // property tests/golden/serve_chaos_tiny.json pins across
+    // checkouts (DESIGN.md §5.19).
+    const std::string first = serve_test::run_serve_chaos_tiny();
+    const std::string second = serve_test::run_serve_chaos_tiny();
+    ASSERT_FALSE(first.empty());
+    EXPECT_NE(first.find("serve.degrade.rung"), std::string::npos);
+    EXPECT_NE(first.find("serve.deadline.slack"), std::string::npos);
+    EXPECT_NE(first.find("fault.serve.stalls"), std::string::npos);
+    EXPECT_EQ(first, second);
+}
+
 TEST(GoldenDeterminism, DistillTinyEmitsByteIdenticalDocuments)
 {
     // The tabular frontier + serving leg is integer-only (stub

@@ -281,6 +281,17 @@ TEST(GoldenStats, ServeTinyMatchesCheckedInDocument)
         serve_test::run_serve_tiny());
 }
 
+TEST(GoldenStats, ServeChaosTinyMatchesCheckedInDocument)
+{
+    // The chaos ladder scenario is integer-derived end to end (virtual
+    // ticks, stub decodes, per-tenant table walks, injector event
+    // counters), so the degraded-rung trajectory and every shed/
+    // deadline/fault counter pin byte-exactly across build flavours.
+    compare_against_golden(
+        std::string(VOYAGER_GOLDEN_DIR) + "/serve_chaos_tiny.json",
+        serve_test::run_serve_chaos_tiny());
+}
+
 TEST(GoldenStats, DistillTinyMatchesCheckedInDocument)
 {
     // Every distill.* stat in this scenario is integer-derived

@@ -22,8 +22,10 @@
 
 #include "core/vocab.hpp"
 #include "serve/client.hpp"
+#include "serve/heuristic.hpp"
 #include "serve/predictor.hpp"
 #include "serve/server.hpp"
+#include "util/fault_injection.hpp"
 #include "util/random.hpp"
 #include "util/stat_registry.hpp"
 
@@ -40,7 +42,13 @@ namespace voyager::serve_test {
 class StubPredictor final : public serve::TokenPredictor
 {
   public:
-    explicit StubPredictor(std::size_t seq_len) : seq_len_(seq_len) {}
+    /** @param salt added to every candidate offset token, so two stub
+     *  rungs of a ladder produce distinguishable lines (the chaos
+     *  tests read the answering rung off the responses). */
+    explicit StubPredictor(std::size_t seq_len, std::int32_t salt = 0)
+        : seq_len_(seq_len), salt_(salt)
+    {
+    }
 
     std::size_t seq_len() const override { return seq_len_; }
 
@@ -48,6 +56,7 @@ class StubPredictor final : public serve::TokenPredictor
     predict_tokens(const core::VoyagerBatch &batch,
                    std::size_t k) override
     {
+        ++calls_;
         const std::size_t T = batch.seq;
         std::vector<std::vector<core::TokenPrediction>> out(
             batch.batch);
@@ -57,13 +66,17 @@ class StubPredictor final : public serve::TokenPredictor
             for (std::size_t j = 0; j < k; ++j) {
                 core::TokenPrediction p;
                 p.page = page;
-                p.offset = static_cast<std::int32_t>(j);
+                p.offset = static_cast<std::int32_t>(j) + salt_;
                 p.prob = 1.0f / static_cast<float>(j + 1);
                 out[b].push_back(p);
             }
         }
         return out;
     }
+
+    /** Batched forwards executed (the all-expired batch tests pin
+     *  that the predictor is never consulted for dead rows). */
+    std::uint64_t calls() const { return calls_; }
 
     std::optional<Addr>
     decode(std::int32_t page_token, std::int32_t offset_token,
@@ -90,6 +103,8 @@ class StubPredictor final : public serve::TokenPredictor
 
   private:
     std::size_t seq_len_;
+    std::int32_t salt_ = 0;
+    std::uint64_t calls_ = 0;
 };
 
 /** The golden tests' access builder (mirrors golden_determinism). */
@@ -153,6 +168,76 @@ run_serve_tiny()
     }
     serve::run_interleaved(server, clients, /*seed=*/5);
     server.export_stats(reg);
+
+    StatEmitOptions opts;
+    opts.include_volatile = false;
+    return reg.json(opts);
+}
+
+/** The canned chaos fault plan the serve_chaos_tiny golden pins:
+ *  periodic predictor stalls, a flooding client pick, poisoned batch
+ *  logits and misrouted responses, all seeded. */
+inline FaultPlan
+serve_chaos_plan()
+{
+    return FaultPlan::parse(
+        "serve_stall@batch=2:every=6:x=18;"
+        "serve_flood@submit=9:every=23:x=10;"
+        "serve_poison@batch=4:every=13;"
+        "serve_misroute@response=7:every=29;"
+        "seed=11");
+}
+
+/**
+ * The serve_chaos_tiny golden scenario (DESIGN.md §5.19): the same
+ * three-tenant cyclic workload as serve_tiny, but through a bounded
+ * deadline-scheduled server with per-tenant quotas and a three-rung
+ * ladder — stub "fp32", salted stub "int8", then a real per-tenant
+ * StreamGroup heuristic — under the canned serve fault plan. Every
+ * stat is integer-derived (virtual ticks, stub decodes, table walks),
+ * so the checked-in golden holds byte-for-byte across Release and
+ * sanitizer builds. Returns the volatile-free JSON doc.
+ */
+inline std::string
+run_serve_chaos_tiny()
+{
+    StatRegistry reg;
+    reg.set_meta("bench", "serve_chaos_tiny");
+
+    const auto stream = serve_cyclic_stream(480, 30, 7);
+    const auto vocab = core::Vocabulary::build(stream);
+    constexpr std::size_t kSeqLen = 4;
+    StubPredictor fp32(kSeqLen, /*salt=*/0);
+    StubPredictor int8(kSeqLen, /*salt=*/8);
+    serve::HeuristicEngine heuristic("stream_group", /*degree=*/2);
+
+    std::vector<serve::EngineRung> rungs;
+    rungs.push_back({"fp32", &fp32, nullptr, {}});
+    rungs.push_back({"int8", &int8, nullptr, {}});
+    rungs.push_back({"heuristic", nullptr, &heuristic, {}});
+
+    serve::ServeConfig sc;
+    sc.max_batch = 4;
+    sc.queue_cap = 10;
+    sc.deadline_ticks = 12;
+    sc.tenant_quota = 6;
+    sc.shed_policy = serve::ShedPolicy::DropExpired;
+    sc.degrade.window = 16;
+
+    fault_injector().install(serve_chaos_plan());
+    serve::PrefetchServer server(std::move(rungs), sc);
+    std::vector<serve::SimulatedClient> clients;
+    for (std::uint32_t t = 0; t < 3; ++t) {
+        const std::size_t begin = t * 160;
+        const std::vector<sim::LlcAccess> slice(
+            stream.begin() + begin, stream.begin() + begin + 150);
+        clients.emplace_back(t, slice, vocab, kSeqLen,
+                             /*degree=*/2);
+    }
+    serve::run_interleaved(server, clients, /*seed=*/5);
+    server.export_stats(reg);
+    export_fault_stats(reg);
+    fault_injector().clear();
 
     StatEmitOptions opts;
     opts.include_volatile = false;

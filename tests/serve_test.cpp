@@ -21,6 +21,7 @@
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
 #include "serve_fixture.hpp"
+#include "util/fault_injection.hpp"
 #include "util/random.hpp"
 #include "util/stat_registry.hpp"
 
@@ -31,9 +32,12 @@ using serve::MicroBatcher;
 using serve::PrefetchRequest;
 using serve::PrefetchResponse;
 using serve::PrefetchServer;
+using serve::QueueAdmit;
 using serve::RequestQueue;
 using serve::ServeConfig;
+using serve::ShedPolicy;
 using serve::SimulatedClient;
+using serve::SubmitResult;
 using serve_test::StubPredictor;
 
 PrefetchRequest
@@ -72,6 +76,57 @@ TEST(ServeQueue, FifoAcrossPushesAndPartialTakes)
     ASSERT_EQ(out.size(), 6u);
     for (std::uint64_t i = 0; i < 6; ++i)
         EXPECT_EQ(out[i].seq, i) << "arrival order broken at " << i;
+}
+
+TEST(ServeQueue, CapacityBoundRejectsNewest)
+{
+    RequestQueue q(3);
+    EXPECT_EQ(q.capacity(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(q.push(make_request(0, i, 1, 0, 0)),
+                  QueueAdmit::Admitted);
+    EXPECT_TRUE(q.full());
+    // Overflow is a typed rejection, not silent growth.
+    EXPECT_EQ(q.push(make_request(0, 3, 1, 0, 0)),
+              QueueAdmit::Rejected);
+    EXPECT_EQ(q.depth(), 3u);
+
+    std::vector<PrefetchRequest> out;
+    EXPECT_EQ(q.take_up_to(1, out), 1u);
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.push(make_request(0, 4, 1, 0, 0)),
+              QueueAdmit::Admitted);
+    out.clear();
+    q.take_up_to(10, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].seq, 1u);
+    EXPECT_EQ(out[1].seq, 2u);
+    EXPECT_EQ(out[2].seq, 4u);  // the rejected seq 3 never entered
+}
+
+TEST(ServeQueue, DropExpiredKeepsSurvivorOrder)
+{
+    RequestQueue q;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        PrefetchRequest r = make_request(0, i, 1, 0, 0);
+        // Odd seqs expire at tick 5, even seqs at tick 20; seq 4
+        // carries no deadline at all (deadline_tick = 0).
+        r.deadline_tick = i == 4 ? 0 : (i % 2 ? 5 : 20);
+        q.push(std::move(r));
+    }
+    std::vector<PrefetchRequest> dropped;
+    EXPECT_EQ(q.drop_expired(/*now=*/10, dropped), 3u);
+    ASSERT_EQ(dropped.size(), 3u);
+    EXPECT_EQ(dropped[0].seq, 1u);
+    EXPECT_EQ(dropped[1].seq, 3u);
+    EXPECT_EQ(dropped[2].seq, 5u);
+
+    std::vector<PrefetchRequest> rest;
+    q.take_up_to(10, rest);
+    ASSERT_EQ(rest.size(), 3u);
+    EXPECT_EQ(rest[0].seq, 0u);
+    EXPECT_EQ(rest[1].seq, 2u);
+    EXPECT_EQ(rest[2].seq, 4u);
 }
 
 TEST(MicroBatcherTest, FullWindowsPackUnchanged)
@@ -218,6 +273,203 @@ TEST(PrefetchServerTest, ExportsClosedServeNamespace)
     EXPECT_EQ(reg.counter("serve.requests"), 5u);
     EXPECT_EQ(reg.histogram("serve.wait_ticks", 0, 256, 64).total(),
               5u);
+}
+
+TEST(MicroBatcherTest, ZeroWindowRowPacksAllPadding)
+{
+    // A ragged request whose lookahead truncated to zero tokens must
+    // still occupy one fully-padded row (the OOV embedding), not
+    // corrupt its neighbours.
+    MicroBatcher b(4);
+    const std::vector<PrefetchRequest> reqs = {
+        make_request(0, 0, 0, 0, 0x55),
+        make_request(1, 0, 4, 91, 0x66),
+    };
+    core::VoyagerBatch batch;
+    EXPECT_EQ(b.pack(reqs, batch), 1u);
+    EXPECT_EQ(batch.batch, 2u);
+    for (std::size_t t = 0; t < 4; ++t) {
+        EXPECT_EQ(batch.pc[t], 0);
+        EXPECT_EQ(batch.page[t], 0);
+        EXPECT_EQ(batch.offset[t], 0);
+    }
+    EXPECT_EQ(batch.page[4 + 3], 91);
+}
+
+TEST(PrefetchServerTest, ZeroWindowRequestStillServed)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 1;
+    PrefetchServer server(pred, sc);
+    EXPECT_EQ(server.submit(make_request(3, 0, 0, 0, 0x77,
+                                         /*degree=*/2)),
+              SubmitResult::Accepted);
+    auto ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 1u);
+    // The stub sees the padded OOV page token (0) as the row's page.
+    ASSERT_EQ(ready[0].lines.size(), 2u);
+    for (std::int32_t j = 0; j < 2; ++j)
+        EXPECT_EQ(ready[0].lines[j],
+                  StubPredictor::expected_line(0, j, 0x77));
+}
+
+TEST(PrefetchServerTest, QueueCapacityShedsAndCounts)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 100;  // never auto-dispatch
+    sc.queue_cap = 2;
+    PrefetchServer server(pred, sc);
+    EXPECT_EQ(server.submit(make_request(0, 0, 4, 10, 1)),
+              SubmitResult::Accepted);
+    EXPECT_EQ(server.submit(make_request(0, 1, 4, 10, 2)),
+              SubmitResult::Accepted);
+    EXPECT_EQ(server.submit(make_request(0, 2, 4, 10, 3)),
+              SubmitResult::ShedCapacity);
+    server.flush();
+    EXPECT_EQ(server.take_ready().size(), 2u);
+
+    StatRegistry reg;
+    server.export_stats(reg);
+    EXPECT_EQ(reg.counter("serve.queue.cap"), 2u);
+    EXPECT_EQ(reg.counter("serve.queue.shed"), 1u);
+    EXPECT_EQ(reg.counter("serve.requests"), 3u);
+    EXPECT_EQ(reg.counter("serve.responses"), 2u);
+}
+
+TEST(PrefetchServerTest, TenantQuotaShedsHotTenantOnly)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 100;
+    sc.tenant_quota = 2;
+    PrefetchServer server(pred, sc);
+    EXPECT_EQ(server.submit(make_request(1, 0, 4, 10, 1)),
+              SubmitResult::Accepted);
+    EXPECT_EQ(server.submit(make_request(1, 1, 4, 10, 2)),
+              SubmitResult::Accepted);
+    // Tenant 1 is at its quota; tenant 2 is not affected.
+    EXPECT_EQ(server.submit(make_request(1, 2, 4, 10, 3)),
+              SubmitResult::ShedQuota);
+    EXPECT_EQ(server.submit(make_request(2, 0, 4, 10, 4)),
+              SubmitResult::Accepted);
+    server.flush();
+    EXPECT_EQ(server.take_ready().size(), 3u);
+    // Dispatch drained tenant 1's pending count, so it may submit
+    // again.
+    EXPECT_EQ(server.submit(make_request(1, 3, 4, 10, 5)),
+              SubmitResult::Accepted);
+
+    StatRegistry reg;
+    server.export_stats(reg);
+    EXPECT_EQ(reg.counter("serve.queue.shed_quota"), 1u);
+}
+
+TEST(PrefetchServerTest, DeadlineSlackAndMissExported)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 2;
+    sc.deadline_ticks = 8;
+    PrefetchServer server(pred, sc);
+    server.submit(make_request(0, 0, 4, 10, 1));
+    server.submit(make_request(0, 1, 4, 10, 2));
+    auto ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 2u);
+    EXPECT_FALSE(ready[0].expired);
+    EXPECT_FALSE(ready[1].expired);
+
+    StatRegistry reg;
+    server.export_stats(reg);
+    // Dispatch at tick 2: slacks are (0+8)-2 = 6 and (1+8)-2 = 7.
+    EXPECT_EQ(reg.counter("serve.deadline.met"), 2u);
+    EXPECT_EQ(reg.counter("serve.deadline.miss"), 0u);
+    EXPECT_EQ(
+        reg.histogram("serve.deadline.slack", 0, 256, 64).total(),
+        2u);
+}
+
+TEST(PrefetchServerTest, DropExpiredPolicyEvictsDeadRequests)
+{
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 100;
+    sc.queue_cap = 2;
+    sc.deadline_ticks = 1;
+    sc.shed_policy = ShedPolicy::DropExpired;
+    PrefetchServer server(pred, sc);
+    server.submit(make_request(0, 0, 4, 10, 1));  // deadline tick 1
+    server.submit(make_request(0, 1, 4, 10, 2));  // deadline tick 2
+    // Tick 3 at admission: both queued deadlines have passed, so the
+    // DropExpired policy evicts them instead of rejecting.
+    EXPECT_EQ(server.submit(make_request(0, 2, 4, 10, 3)),
+              SubmitResult::Accepted);
+    auto ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 2u);
+    for (const auto &r : ready) {
+        EXPECT_TRUE(r.expired);
+        EXPECT_TRUE(r.lines.empty());
+    }
+    EXPECT_EQ(server.pending(), 1u);
+
+    StatRegistry reg;
+    server.export_stats(reg);
+    EXPECT_EQ(reg.counter("serve.queue.dropped_expired"), 2u);
+    EXPECT_EQ(reg.counter("serve.deadline.miss"), 2u);
+    EXPECT_EQ(reg.counter("serve.queue.shed"), 0u);
+}
+
+TEST(PrefetchServerTest, AllExpiredExactBatchSkipsThePredictor)
+{
+    // A stall pins the dispatcher, a second full batch goes stale
+    // behind it, and the flush then forms a batch of exactly
+    // max_batch all-expired rows — which must never reach the
+    // predictor.
+    fault_injector().install(
+        FaultPlan::parse("serve_stall@batch=0:x=40"));
+    StubPredictor pred(4);
+    ServeConfig sc;
+    sc.max_batch = 4;
+    sc.deadline_ticks = 4;
+    PrefetchServer server(pred, sc);
+
+    // Batch 0 dispatches at tick 4 (deadlines 4-7, none expired) and
+    // trips the stall.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        server.submit(make_request(0, i, 4, 20, 0x10 + i));
+    EXPECT_EQ(pred.calls(), 1u);
+    EXPECT_TRUE(server.stalled());
+    EXPECT_EQ(server.take_ready().size(), 4u);
+
+    // Seqs 4-11 (deadlines 8-15) queue behind the stall; by the last
+    // submit the tick is 12, so seqs 4-7 are all past deadline.
+    for (std::uint64_t i = 4; i < 12; ++i)
+        server.submit(make_request(0, i, 4, 20, 0x10 + i));
+    EXPECT_EQ(server.pending(), 8u);
+    EXPECT_EQ(pred.calls(), 1u);
+
+    server.flush();  // tick 12: seqs 4-7 expired, 8-11 still live
+    const auto ready = server.take_ready();
+    ASSERT_EQ(ready.size(), 8u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_TRUE(ready[i].expired);
+        EXPECT_TRUE(ready[i].lines.empty());
+        EXPECT_EQ(ready[i].batch_rows, 4u);
+    }
+    for (std::size_t i = 4; i < 8; ++i) {
+        EXPECT_FALSE(ready[i].expired);
+        EXPECT_FALSE(ready[i].lines.empty());
+    }
+    // The all-expired batch never ran a forward; the live remainder
+    // ran exactly one.
+    EXPECT_EQ(pred.calls(), 2u);
+
+    StatRegistry reg;
+    server.export_stats(reg);
+    EXPECT_EQ(reg.counter("serve.expired_rows"), 4u);
+    EXPECT_EQ(reg.counter("serve.stall_ticks"), 40u);
+    fault_injector().clear();
 }
 
 TEST(SimulatedClientTest, WindowsMirrorEncodeStream)

@@ -72,11 +72,13 @@ HEALTH_STATS = {
     "health.degraded_runs": "counter",
 }
 
-# The serving layer's closed stat namespace (DESIGN.md section 5.16,
-# emitted by serve::PrefetchServer::export_stats). Latency/queue
-# histograms are virtual-tick based and deterministic; the wall-clock
-# forward timer is volatile, so it appears in bench documents but
-# never in the checked-in goldens.
+# The serving layer's closed stat namespace (DESIGN.md sections 5.16
+# and 5.19, emitted by serve::PrefetchServer::export_stats). Latency/
+# queue histograms are virtual-tick based and deterministic; the
+# wall-clock forward timer is volatile, so it appears in bench
+# documents but never in the checked-in goldens. The degradation
+# ladder additionally emits per-rung counters under
+# serve.degrade.<engine>.{responses,deadline_miss}.
 SERVE_STATS = {
     "serve.requests": "counter",
     "serve.responses": "counter",
@@ -85,12 +87,54 @@ SERVE_STATS = {
     "serve.padded_rows": "counter",
     "serve.lines": "counter",
     "serve.tenants": "counter",
+    "serve.queue.cap": "counter",
+    "serve.queue.shed": "counter",
+    "serve.queue.shed_quota": "counter",
+    "serve.queue.dropped_expired": "counter",
+    "serve.expired_rows": "counter",
+    "serve.deadline.miss": "counter",
+    "serve.deadline.met": "counter",
+    "serve.deadline.slack": "histogram",
+    "serve.stall_ticks": "counter",
+    "serve.misroutes_repaired": "counter",
+    "serve.degrade.rung": "gauge",
+    "serve.degrade.steps_down": "counter",
+    "serve.degrade.steps_up": "counter",
+    "serve.degrade.predictor_faults": "counter",
     "serve.batch_size": "histogram",
     "serve.queue_depth": "histogram",
     "serve.wait_ticks": "histogram",
     "serve.forward.seconds": "gauge",
     "serve.forward.count": "counter",
 }
+
+# Degradation-ladder rung labels (TokenPredictor::engine names plus
+# the terminal heuristic rung and the test stub) and their per-rung
+# counter leaves.
+SERVE_ENGINES = {"fp32", "int8", "distilled", "heuristic", "stub"}
+SERVE_ENGINE_LEAVES = {
+    "responses": "counter",
+    "deadline_miss": "counter",
+}
+
+
+def check_serve(name, body, errors):
+    expected = SERVE_STATS.get(name)
+    if expected is None:
+        parts = name.split(".")
+        if (len(parts) == 4 and parts[1] == "degrade"
+                and parts[2] in SERVE_ENGINES):
+            expected = SERVE_ENGINE_LEAVES.get(parts[3])
+    if expected is None:
+        errors.append(
+            f"{name}: unknown serve stat (expected one of "
+            f"{sorted(SERVE_STATS)}, or "
+            f"serve.degrade.<engine>.<leaf> with engine in "
+            f"{sorted(SERVE_ENGINES)}, leaf in "
+            f"{sorted(SERVE_ENGINE_LEAVES)})")
+    elif isinstance(body, dict) and body.get("kind") != expected:
+        errors.append(f"{name}: must be a {expected}, got "
+                      f"{body.get('kind')!r}")
 
 # The fault-injection subsystem's closed stat namespace (emitted by
 # voyager::export_fault_stats).
@@ -101,6 +145,10 @@ FAULT_STATS = {
     "fault.injected_loss_spike": "counter",
     "fault.injected_io": "counter",
     "fault.injected_trace": "counter",
+    "fault.serve.stalls": "counter",
+    "fault.serve.poisoned": "counter",
+    "fault.serve.floods": "counter",
+    "fault.serve.misroutes": "counter",
 }
 
 # The transformer-workload sweep's closed namespace (DESIGN.md
@@ -424,13 +472,7 @@ def check_document(doc, errors):
                 errors.append(f"{name}: must be a {expected}, got "
                               f"{body.get('kind')!r}")
         if name.startswith("serve."):
-            expected = SERVE_STATS.get(name)
-            if expected is None:
-                errors.append(f"{name}: unknown serve stat "
-                              f"(expected one of {sorted(SERVE_STATS)})")
-            elif isinstance(body, dict) and body.get("kind") != expected:
-                errors.append(f"{name}: must be a {expected}, got "
-                              f"{body.get('kind')!r}")
+            check_serve(name, body, errors)
         if name.startswith("micro_hash."):
             check_micro_hash(name, body, errors)
         if name.startswith("distill."):

@@ -29,6 +29,9 @@ ctest --preset transformer --output-on-failure
 echo "== release: ctest -L distill =="
 ctest --preset distill --output-on-failure
 
+echo "== release: ctest -L chaos =="
+ctest --preset chaos --output-on-failure
+
 echo "== asan-ubsan: configure + build =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j1
@@ -50,6 +53,9 @@ ctest --preset asan-transformer --output-on-failure
 
 echo "== asan-ubsan: ctest -L distill =="
 ctest --preset asan-distill --output-on-failure
+
+echo "== asan-ubsan: ctest -L chaos =="
+ctest --preset asan-chaos --output-on-failure
 
 echo "== stats schema validation =="
 out=$(mktemp /tmp/voyager_stats.XXXXXX.json)
@@ -96,6 +102,22 @@ rm -f "$serve_out"
 ./build-asan/bench/bench_serve --scale=tiny --tenants=2 \
     --requests=20 --serve_batches=4 --serve_train_samples=100 \
     >/dev/null
+
+# Overload-resilience smoke (DESIGN.md section 5.19): the chaos
+# ladder run must degrade under the canned serve fault plan and emit
+# a schema-valid document carrying the closed serve.degrade.* and
+# fault.serve.* namespaces. The chaos ctest suites above pin the
+# byte-identical replays; this proves the bench path executes too.
+echo "== bench_serve --chaos smoke =="
+chaos_out=$(mktemp /tmp/voyager_chaos.XXXXXX.json)
+./build/bench/bench_serve --scale=tiny --tenants=3 --requests=60 \
+    --serve_batches=4 --serve_train_samples=200 --chaos \
+    --tenant_quota=12 --queue_cap=24 \
+    --stats_json="$chaos_out" >/dev/null
+python3 tools/check_stats_schema.py "$chaos_out"
+grep -q '"serve.degrade.rung"' "$chaos_out"
+grep -q '"fault.serve.stalls"' "$chaos_out"
+rm -f "$chaos_out"
 
 # Transformer-workload smoke (DESIGN.md section 5.17): the full
 # prefetcher sweep (rules + Voyager) must run end to end at tiny
